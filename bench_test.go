@@ -1,0 +1,249 @@
+// Benchmarks regenerating every table and figure of the SLADE paper's
+// evaluation. Each Benchmark function corresponds to one table or figure
+// (or a cost/time figure pair, which the paper derives from the same runs):
+//
+//	Table 1        BenchmarkTable1Reliability
+//	Table 3        BenchmarkTable3BuildOPQ
+//	Tables 4-5     BenchmarkTables4And5BuildOPQSet
+//	Figure 3a/3b   BenchmarkFig3MotivationProbes
+//	Figure 3c      BenchmarkFig3cDifficultyProbes
+//	Figure 6a-6d   BenchmarkFig6ThresholdSweep
+//	Figure 6e-6h   BenchmarkFig6CardinalitySweep
+//	Figure 6i-6l   BenchmarkFig6Scalability
+//	Figure 7a-7b   BenchmarkFig7SigmaSweep
+//	Figure 7c-7d   BenchmarkFig7MuSweep
+//	Figure 8a-8b   BenchmarkFig8HeteroScalability
+//
+// Run with: go test -bench=. -benchmem
+package slade_test
+
+import (
+	"fmt"
+	"testing"
+
+	slade "repro"
+	"repro/internal/core"
+	"repro/internal/distgen"
+	"repro/internal/experiments"
+	"repro/internal/hetero"
+	"repro/internal/opq"
+)
+
+// benchSolvers is the homogeneous line-up of Section 7.1.
+func benchSolvers() []slade.Solver {
+	return []slade.Solver{slade.NewGreedy(), slade.NewOPQ(), slade.NewBaseline(1)}
+}
+
+// benchHeteroSolvers is the heterogeneous line-up of Section 7.2.
+func benchHeteroSolvers() []slade.Solver {
+	return []slade.Solver{slade.NewGreedy(), slade.NewOPQExtended(), slade.NewBaseline(1)}
+}
+
+func benchMenu(b *testing.B, ds experiments.Dataset, maxCard int) core.BinSet {
+	b.Helper()
+	var menu core.BinSet
+	var err error
+	if ds == experiments.SMIC {
+		menu, err = slade.SMICMenu(maxCard)
+	} else {
+		menu, err = slade.JellyMenu(maxCard)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	return menu
+}
+
+func solveLoop(b *testing.B, s slade.Solver, in *core.Instance) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		plan, err := s.Solve(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if plan.NumUses() == 0 && in.N() > 0 {
+			b.Fatal("empty plan")
+		}
+	}
+}
+
+// BenchmarkTable1Reliability measures the core reliability arithmetic of
+// Definition 2 over the Table-1 menu (the inner loop of every solver).
+func BenchmarkTable1Reliability(b *testing.B) {
+	menu := slade.Table1Menu()
+	plan := &core.Plan{Uses: []core.BinUse{
+		{Cardinality: 3, Tasks: []int{0, 1, 2}},
+		{Cardinality: 3, Tasks: []int{0, 1, 3}},
+		{Cardinality: 2, Tasks: []int{2, 3}},
+	}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Reliability(4, menu); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3BuildOPQ measures Algorithm 2 on the Table-1 menu at
+// t = 0.95 (the queue of Table 3).
+func BenchmarkTable3BuildOPQ(b *testing.B) {
+	menu := slade.Table1Menu()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := opq.Build(menu, 0.95); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTables4And5BuildOPQSet measures Algorithm 4 on the Example-10
+// heterogeneous instance (the queues of Tables 4 and 5).
+func BenchmarkTables4And5BuildOPQSet(b *testing.B) {
+	in, err := slade.NewHeterogeneous(slade.Table1Menu(), []float64{0.5, 0.6, 0.7, 0.86})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := hetero.BuildSet(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3MotivationProbes measures the motivation experiment of
+// Figures 3a/3b: one full cardinality sweep of probe bins per pay tier.
+func BenchmarkFig3MotivationProbes(b *testing.B) {
+	for _, ds := range []experiments.Dataset{experiments.Jelly, experiments.SMIC} {
+		b.Run(ds.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fig := experiments.Fig3(ds, 10, int64(i))
+				if len(fig.Series) != 3 {
+					b.Fatal("wrong series count")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig3cDifficultyProbes measures the difficulty sweep of Fig 3c.
+func BenchmarkFig3cDifficultyProbes(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fig := experiments.Fig3c(10, int64(i))
+		if len(fig.Series) != 3 {
+			b.Fatal("wrong series count")
+		}
+	}
+}
+
+// BenchmarkFig6ThresholdSweep measures each algorithm at the endpoints of
+// the Figure 6a-6d threshold sweep (n = 10,000, |B| = 20).
+func BenchmarkFig6ThresholdSweep(b *testing.B) {
+	for _, ds := range []experiments.Dataset{experiments.Jelly, experiments.SMIC} {
+		menu := benchMenu(b, ds, 20)
+		for _, t := range []float64{0.87, 0.97} {
+			in, err := slade.NewHomogeneous(menu, 10_000, t)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, s := range benchSolvers() {
+				b.Run(fmt.Sprintf("%s/t=%.2f/%s", ds, t, s.Name()), func(b *testing.B) {
+					solveLoop(b, s, in)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig6CardinalitySweep measures each algorithm at |B| ∈ {1, 20}
+// (the endpoints of Figures 6e-6h), t = 0.9, n = 10,000.
+func BenchmarkFig6CardinalitySweep(b *testing.B) {
+	menu := benchMenu(b, experiments.Jelly, 20)
+	for _, maxCard := range []int{1, 20} {
+		in, err := slade.NewHomogeneous(menu.Truncate(maxCard), 10_000, 0.9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range benchSolvers() {
+			b.Run(fmt.Sprintf("B=%d/%s", maxCard, s.Name()), func(b *testing.B) {
+				solveLoop(b, s, in)
+			})
+		}
+	}
+}
+
+// BenchmarkFig6Scalability measures each algorithm at n ∈ {1k, 10k, 100k}
+// (Figures 6i-6l), t = 0.9, |B| = 20.
+func BenchmarkFig6Scalability(b *testing.B) {
+	menu := benchMenu(b, experiments.Jelly, 20)
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		in, err := slade.NewHomogeneous(menu, n, 0.9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range benchSolvers() {
+			b.Run(fmt.Sprintf("n=%d/%s", n, s.Name()), func(b *testing.B) {
+				solveLoop(b, s, in)
+			})
+		}
+	}
+}
+
+// heteroInstance builds the default heterogeneous workload of Section 7.2.
+func heteroInstance(b *testing.B, menu core.BinSet, n int, mu, sigma float64) *core.Instance {
+	b.Helper()
+	th, err := distgen.Normal(n, mu, sigma, distgen.DefaultBounds, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := slade.NewHeterogeneous(menu, th)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+// BenchmarkFig7SigmaSweep measures the σ endpoints of Figures 7a-7b.
+func BenchmarkFig7SigmaSweep(b *testing.B) {
+	menu := benchMenu(b, experiments.Jelly, 20)
+	for _, sigma := range []float64{0.01, 0.05} {
+		in := heteroInstance(b, menu, 10_000, 0.9, sigma)
+		for _, s := range benchHeteroSolvers() {
+			b.Run(fmt.Sprintf("sigma=%.2f/%s", sigma, s.Name()), func(b *testing.B) {
+				solveLoop(b, s, in)
+			})
+		}
+	}
+}
+
+// BenchmarkFig7MuSweep measures the µ endpoints of Figures 7c-7d.
+func BenchmarkFig7MuSweep(b *testing.B) {
+	menu := benchMenu(b, experiments.Jelly, 20)
+	for _, mu := range []float64{0.87, 0.97} {
+		in := heteroInstance(b, menu, 10_000, mu, 0.03)
+		for _, s := range benchHeteroSolvers() {
+			b.Run(fmt.Sprintf("mu=%.2f/%s", mu, s.Name()), func(b *testing.B) {
+				solveLoop(b, s, in)
+			})
+		}
+	}
+}
+
+// BenchmarkFig8HeteroScalability measures the heterogeneous n endpoints of
+// Figures 8a-8b on both datasets.
+func BenchmarkFig8HeteroScalability(b *testing.B) {
+	for _, ds := range []experiments.Dataset{experiments.Jelly, experiments.SMIC} {
+		menu := benchMenu(b, ds, 20)
+		for _, n := range []int{10_000, 100_000} {
+			in := heteroInstance(b, menu, n, 0.9, 0.03)
+			for _, s := range benchHeteroSolvers() {
+				b.Run(fmt.Sprintf("%s/n=%d/%s", ds, n, s.Name()), func(b *testing.B) {
+					solveLoop(b, s, in)
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	slade "repro"
+)
+
+// gen implements `sladecli gen`: write a SLADE instance JSON for a chosen
+// menu and threshold workload, ready for `sladecli solve -in`.
+func gen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	n := fs.Int("n", 10_000, "number of atomic tasks")
+	menuName := fs.String("menu", "jelly", "bin menu: jelly|smic|table1")
+	maxCard := fs.Int("maxcard", 20, "maximum bin cardinality (jelly/smic menus)")
+	dist := fs.String("dist", "homo", "threshold distribution: homo|normal|uniform|pareto")
+	tFlag := fs.Float64("t", 0.9, "threshold (homo) or mean µ (normal)")
+	sigma := fs.Float64("sigma", 0.03, "σ for the normal distribution")
+	lo := fs.Float64("lo", 0.6, "lower bound for the uniform distribution")
+	hi := fs.Float64("hi", 0.95, "upper bound for the uniform distribution")
+	seed := fs.Int64("seed", 1, "workload RNG seed")
+	outPath := fs.String("out", "", "output path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var menu slade.BinSet
+	var err error
+	switch *menuName {
+	case "jelly":
+		menu, err = slade.JellyMenu(*maxCard)
+	case "smic":
+		menu, err = slade.SMICMenu(*maxCard)
+	case "table1":
+		menu = slade.Table1Menu()
+	default:
+		return fmt.Errorf("unknown menu %q", *menuName)
+	}
+	if err != nil {
+		return err
+	}
+
+	var thresholds []float64
+	bounds := slade.DefaultThresholdBounds
+	switch *dist {
+	case "homo":
+		thresholds = slade.HomogeneousThresholds(*n, *tFlag)
+	case "normal":
+		thresholds, err = slade.NormalThresholds(*n, *tFlag, *sigma, bounds, *seed)
+	case "uniform":
+		thresholds, err = slade.UniformThresholds(*n, *lo, *hi, bounds, *seed)
+	case "pareto":
+		thresholds, err = slade.HeavyTailedThresholds(*n, 1.5, 0.02, bounds, *seed)
+	default:
+		return fmt.Errorf("unknown distribution %q", *dist)
+	}
+	if err != nil {
+		return err
+	}
+
+	in, err := slade.NewHeterogeneous(menu, thresholds)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	if *outPath == "" {
+		_, err = os.Stdout.Write(append(data, '\n'))
+		return err
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d tasks × %d bins to %s\n", in.N(), menu.Len(), *outPath)
+	return nil
+}
+
+// analyze implements `sladecli analyze`: solve an instance with every
+// algorithm and print the comparative diagnostics, or analyze a saved plan.
+func analyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	inPath := fs.String("in", "", "path to instance JSON (required)")
+	planPath := fs.String("plan", "", "optional plan JSON; otherwise all algorithms are compared")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inPath == "" {
+		return fmt.Errorf("-in is required")
+	}
+	data, err := os.ReadFile(*inPath)
+	if err != nil {
+		return err
+	}
+	var in slade.Instance
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+
+	if *planPath != "" {
+		pdata, err := os.ReadFile(*planPath)
+		if err != nil {
+			return err
+		}
+		var plan slade.Plan
+		if err := json.Unmarshal(pdata, &plan); err != nil {
+			return err
+		}
+		stats, err := slade.AnalyzePlan(&in, &plan)
+		if err != nil {
+			return err
+		}
+		fmt.Print(stats.String())
+		return nil
+	}
+
+	solvers := []slade.Solver{slade.NewGreedy(), slade.NewBaseline(1)}
+	if in.Homogeneous() {
+		solvers = append(solvers, slade.NewOPQ())
+	} else {
+		solvers = append(solvers, slade.NewOPQExtended())
+	}
+	plans := make(map[string]*slade.Plan, len(solvers))
+	for _, s := range solvers {
+		p, err := s.Solve(&in)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.Name(), err)
+		}
+		plans[s.Name()] = p
+	}
+	out, err := slade.ComparePlans(&in, plans)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}

@@ -1,0 +1,236 @@
+// Command sladecli solves SLADE instances from JSON and prints the paper's
+// worked examples.
+//
+// Usage:
+//
+//	sladecli tables
+//	    Print the running-example tables of the paper (Tables 1, 3, 4, 5)
+//	    and the worked examples 4, 5, 9 and 11.
+//
+//	sladecli solve -in instance.json [-algo opq] [-out plan.json]
+//	    Solve an instance. instance.json holds {"bins": [...],
+//	    "thresholds": [...]} (see slade.Instance). Algorithms: greedy,
+//	    opq, opq-extended, baseline, auto (default: auto — OPQ-Based for
+//	    homogeneous instances, OPQ-Extended otherwise).
+//
+//	sladecli gen -n 10000 -menu jelly -dist normal -t 0.9 -sigma 0.03 -out in.json
+//	    Generate an instance JSON: menus jelly|smic|table1, threshold
+//	    distributions homo|normal|uniform|pareto.
+//
+//	sladecli analyze -in instance.json [-plan plan.json]
+//	    Solve with every applicable algorithm and print side-by-side
+//	    diagnostics (cost, ×LP bound, fill rate, slack), or analyze one
+//	    saved plan in detail.
+//
+//	sladecli demo
+//	    Solve the Example-4 running instance with every algorithm.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	slade "repro"
+	"repro/internal/core"
+	"repro/internal/hetero"
+	"repro/internal/opq"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "tables":
+		err = tables()
+	case "solve":
+		err = solve(os.Args[2:])
+	case "gen":
+		err = gen(os.Args[2:])
+	case "analyze":
+		err = analyze(os.Args[2:])
+	case "demo":
+		err = demo()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sladecli:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sladecli {tables|solve|gen|analyze|demo} [flags]")
+}
+
+// pickSolver maps an -algo flag value to a Solver.
+func pickSolver(name string, in *slade.Instance) (slade.Solver, error) {
+	switch name {
+	case "greedy":
+		return slade.NewGreedy(), nil
+	case "opq":
+		return slade.NewOPQ(), nil
+	case "opq-extended":
+		return slade.NewOPQExtended(), nil
+	case "baseline":
+		return slade.NewBaseline(1), nil
+	case "auto":
+		if in.Homogeneous() {
+			return slade.NewOPQ(), nil
+		}
+		return slade.NewOPQExtended(), nil
+	}
+	return nil, fmt.Errorf("unknown algorithm %q", name)
+}
+
+func solve(args []string) error {
+	fs := flag.NewFlagSet("solve", flag.ExitOnError)
+	inPath := fs.String("in", "", "path to instance JSON (required)")
+	algo := fs.String("algo", "auto", "greedy|opq|opq-extended|baseline|auto")
+	outPath := fs.String("out", "", "optional path to write the plan JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inPath == "" {
+		return fmt.Errorf("-in is required")
+	}
+	data, err := os.ReadFile(*inPath)
+	if err != nil {
+		return err
+	}
+	var in slade.Instance
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("parsing %s: %w", *inPath, err)
+	}
+	s, err := pickSolver(*algo, &in)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	plan, err := s.Solve(&in)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	if err := plan.Validate(&in); err != nil {
+		return fmt.Errorf("solver returned infeasible plan: %w", err)
+	}
+	sum, err := plan.Summarize(in.Bins())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("algorithm: %s\n", s.Name())
+	fmt.Printf("tasks:     %d\n", in.N())
+	fmt.Printf("plan:      %s\n", sum)
+	fmt.Printf("bin uses:  %d (%d assignments)\n", sum.NumUses, sum.NumAssignments)
+	fmt.Printf("time:      %v\n", elapsed)
+	if *outPath != "" {
+		out, err := json.MarshalIndent(plan, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("plan written to %s\n", *outPath)
+	}
+	return nil
+}
+
+func tables() error {
+	menu := slade.Table1Menu()
+	fmt.Println("Table 1 — running-example task bins")
+	fmt.Printf("%-14s%10s%10s%10s\n", "", "b1", "b2", "b3")
+	fmt.Printf("%-14s%10d%10d%10d\n", "Cardinality", 1, 2, 3)
+	fmt.Printf("%-14s%10.2f%10.2f%10.2f\n", "Confidence",
+		mustBin(menu, 1).Confidence, mustBin(menu, 2).Confidence, mustBin(menu, 3).Confidence)
+	fmt.Printf("%-14s%10.2f%10.2f%10.2f\n\n", "Cost (USD)",
+		mustBin(menu, 1).Cost, mustBin(menu, 2).Cost, mustBin(menu, 3).Cost)
+
+	for _, tc := range []struct {
+		label string
+		t     float64
+	}{
+		{"Table 3 — OPQ at t=0.95", 0.95},
+		{"Table 4 — OPQ0 at t=0.632", 0.632},
+		{"Table 5 — OPQ1 at t=0.86", 0.86},
+	} {
+		q, err := opq.Build(menu, tc.t)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tc.label)
+		printQueue(q)
+		fmt.Println()
+	}
+	return nil
+}
+
+func printQueue(q *opq.Queue) {
+	fmt.Printf("%-8s", "Comb")
+	for _, e := range q.Elems {
+		fmt.Printf("%14s", e.String())
+	}
+	fmt.Printf("\n%-8s", "UC")
+	for _, e := range q.Elems {
+		fmt.Printf("%14.2f", e.UC)
+	}
+	fmt.Printf("\n%-8s", "LCM")
+	for _, e := range q.Elems {
+		fmt.Printf("%14d", e.LCM)
+	}
+	fmt.Println()
+}
+
+func demo() error {
+	menu := slade.Table1Menu()
+	fmt.Println("Running example: 4 atomic tasks, Table-1 menu, t = 0.95")
+	fmt.Println("(paper: optimal 0.66, Greedy 0.74, OPQ-Based 0.68)")
+	in, err := slade.NewHomogeneous(menu, 4, 0.95)
+	if err != nil {
+		return err
+	}
+	for _, s := range []slade.Solver{slade.NewGreedy(), slade.NewOPQ(), slade.NewBaseline(1)} {
+		if err := runOne(s, in, menu); err != nil {
+			return err
+		}
+	}
+	fmt.Println("\nHeterogeneous example (Examples 10-11): thresholds 0.5/0.6/0.7/0.86")
+	fmt.Println("(paper: OPQ-Extended plan {{a1,a2},{a3},{a4}} costing 0.38)")
+	hin, err := slade.NewHeterogeneous(menu, []float64{0.5, 0.6, 0.7, 0.86})
+	if err != nil {
+		return err
+	}
+	return runOne(hetero.Solver{}, hin, menu)
+}
+
+func runOne(s core.Solver, in *core.Instance, menu core.BinSet) error {
+	plan, err := s.Solve(in)
+	if err != nil {
+		return err
+	}
+	if err := plan.Validate(in); err != nil {
+		return fmt.Errorf("%s: infeasible: %w", s.Name(), err)
+	}
+	sum, err := plan.Summarize(menu)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-14s %s\n", s.Name()+":", sum)
+	return nil
+}
+
+func mustBin(menu core.BinSet, l int) core.TaskBin {
+	b, ok := menu.ByCardinality(l)
+	if !ok {
+		panic(fmt.Sprintf("missing bin %d", l))
+	}
+	return b
+}

@@ -1,0 +1,92 @@
+// Command sladesim regenerates the motivation experiments of Section 2 of
+// the SLADE paper (Figure 3) on the simulated crowd marketplace: probe bins
+// of cardinality 2..30 at each pay tier, reporting mean confidence and the
+// overtime rate per point.
+//
+// Usage:
+//
+//	sladesim -fig 3a                  # Jelly, pay tiers 0.05/0.08/0.10
+//	sladesim -fig 3b                  # SMIC,  pay tiers 0.05/0.10/0.20
+//	sladesim -fig 3c                  # Jelly difficulty levels 1/2/3
+//	sladesim -fig all -assignments 50 # smoother curves
+//
+// Points whose overtime rate exceeds 50% correspond to the dotted segments
+// of the paper's Figure 3 and are flagged with '*'.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "3a, 3b, 3c or 'all'")
+	assignments := flag.Int("assignments", 10, "probe bins per design point (paper used 10)")
+	seed := flag.Int64("seed", 1, "simulator RNG seed")
+	flag.Parse()
+
+	if err := run(os.Stdout, *fig, *assignments, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "sladesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, fig string, assignments int, seed int64) error {
+	if assignments < 1 {
+		return fmt.Errorf("assignments must be positive")
+	}
+	figs := map[string]func() experiments.Figure{
+		"3a": func() experiments.Figure { return experiments.Fig3(experiments.Jelly, assignments, seed) },
+		"3b": func() experiments.Figure { return experiments.Fig3(experiments.SMIC, assignments, seed) },
+		"3c": func() experiments.Figure { return experiments.Fig3c(assignments, seed) },
+	}
+	order := []string{"3a", "3b", "3c"}
+	matched := false
+	for _, id := range order {
+		if fig != "all" && fig != id {
+			continue
+		}
+		matched = true
+		printFig(w, figs[id]())
+	}
+	if !matched {
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}
+
+// printFig renders a Figure-3 style table: one row per cardinality, one
+// column per series, '*' marking mostly-overtime points and '-' marking
+// points with no in-time answers at all.
+func printFig(w io.Writer, f experiments.Figure) {
+	fmt.Fprintf(w, "Figure %s — %s (* = >50%% overtime)\n", f.ID, f.Title)
+	fmt.Fprintf(w, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, "%14s", s.Label)
+	}
+	fmt.Fprintln(w)
+	if len(f.Series) == 0 {
+		return
+	}
+	for i := range f.Series[0].Points {
+		fmt.Fprintf(w, "%-12.0f", f.Series[0].Points[i].X)
+		for _, s := range f.Series {
+			p := s.Points[i]
+			switch {
+			case math.IsNaN(p.Y):
+				fmt.Fprintf(w, "%14s", "-")
+			case p.Overtime > 0.5:
+				fmt.Fprintf(w, "%13.3f*", p.Y)
+			default:
+				fmt.Fprintf(w, "%14.3f", p.Y)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}

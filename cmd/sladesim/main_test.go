@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFig3a(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "3a", 20, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Figure 3a") {
+		t.Errorf("missing figure header:\n%s", out)
+	}
+	for _, tier := range []string{"cost=0.05", "cost=0.08", "cost=0.10"} {
+		if !strings.Contains(out, tier) {
+			t.Errorf("missing pay tier %s", tier)
+		}
+	}
+	// The cheap tier must show overtime markers or dashes at the deep end.
+	if !strings.Contains(out, "*") && !strings.Contains(out, "-") {
+		t.Error("expected overtime markers in Fig 3a output")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "all", 5, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, id := range []string{"3a", "3b", "3c"} {
+		if !strings.Contains(out, "Figure "+id) {
+			t.Errorf("missing figure %s", id)
+		}
+	}
+	if !strings.Contains(out, "Diff. 3") {
+		t.Error("missing difficulty series in 3c")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "3z", 10, 1); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run(&sb, "3a", 0, 1); err == nil {
+		t.Error("zero assignments accepted")
+	}
+}

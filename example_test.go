@@ -1,0 +1,73 @@
+package slade_test
+
+import (
+	"fmt"
+
+	slade "repro"
+)
+
+// ExampleDecompose reproduces the paper's running example (Example 9): four
+// atomic tasks over the Table-1 menu at t = 0.95 cost $0.68 under the
+// OPQ-Based decomposition.
+func ExampleDecompose() {
+	in, err := slade.NewHomogeneous(slade.Table1Menu(), 4, 0.95)
+	if err != nil {
+		panic(err)
+	}
+	plan, err := slade.Decompose(in)
+	if err != nil {
+		panic(err)
+	}
+	sum, err := plan.Summarize(in.Bins())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sum)
+	// Output: 2×b1 + 2×b3 = $0.6800
+}
+
+// ExampleBuildOPQ prints the Optimal Priority Queue of Table 3.
+func ExampleBuildOPQ() {
+	q, err := slade.BuildOPQ(slade.Table1Menu(), 0.95)
+	if err != nil {
+		panic(err)
+	}
+	for _, e := range q.Elems {
+		fmt.Printf("%s UC=%.2f LCM=%d\n", e.String(), e.UC, e.LCM)
+	}
+	// Output:
+	// {2×b3} UC=0.16 LCM=3
+	// {2×b2} UC=0.18 LCM=2
+	// {2×b1} UC=0.20 LCM=1
+}
+
+// ExampleNewStreamPlanner decomposes tasks arriving one batch at a time.
+func ExampleNewStreamPlanner() {
+	p, err := slade.NewStreamPlanner(slade.Table1Menu(), 0.95)
+	if err != nil {
+		panic(err)
+	}
+	// Two tasks arrive: fewer than the block size (3), nothing emitted.
+	plan, _ := p.Add(0, 1)
+	fmt.Println("after batch 1:", plan.NumUses(), "uses,", p.Pending(), "pending")
+	// Two more arrive: one full block is emitted, one task stays pending.
+	plan, _ = p.Add(2, 3)
+	fmt.Println("after batch 2:", plan.NumUses(), "uses,", p.Pending(), "pending")
+	if _, err := p.Flush(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("total streamed cost: $%.2f\n", p.EmittedCost())
+	// Output:
+	// after batch 1: 0 uses, 2 pending
+	// after batch 2: 2 uses, 1 pending
+	// total streamed cost: $0.68
+}
+
+// ExampleTheta shows the reliability transform of Eq. (2).
+func ExampleTheta() {
+	fmt.Printf("%.3f\n", slade.Theta(0.95))
+	fmt.Printf("%.2f\n", slade.ThresholdFromTheta(slade.Theta(0.95)))
+	// Output:
+	// 2.996
+	// 0.95
+}

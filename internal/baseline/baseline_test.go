@@ -1,0 +1,282 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/greedy"
+	"repro/internal/opq"
+)
+
+func table1() core.BinSet {
+	return core.MustBinSet([]core.TaskBin{
+		{Cardinality: 1, Confidence: 0.90, Cost: 0.10},
+		{Cardinality: 2, Confidence: 0.85, Cost: 0.18},
+		{Cardinality: 3, Confidence: 0.80, Cost: 0.24},
+	})
+}
+
+func TestSolveFeasibleRunningExample(t *testing.T) {
+	in := core.MustHomogeneous(table1(), 4, 0.95)
+	p, err := Solve(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(in); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+}
+
+func TestSolveDeterministicPerSeed(t *testing.T) {
+	in := core.MustHomogeneous(table1(), 100, 0.9)
+	p1, err := Solve(in, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Solve(in, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.MustCost(in.Bins()) != p2.MustCost(in.Bins()) {
+		t.Error("same seed produced different costs")
+	}
+	if p1.NumUses() != p2.NumUses() {
+		t.Error("same seed produced different plans")
+	}
+}
+
+func TestSolveEmptyAndZero(t *testing.T) {
+	in := core.MustHomogeneous(table1(), 0, 0.9)
+	p, err := Solve(in, 0)
+	if err != nil || p.NumUses() != 0 {
+		t.Errorf("Solve(empty) = %v, %v", p, err)
+	}
+	in2 := core.MustHomogeneous(table1(), 5, 0)
+	p2, err := Solve(in2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.NumUses() != 0 {
+		t.Errorf("t=0 needs no bins, got %d uses", p2.NumUses())
+	}
+}
+
+func TestSolveHeterogeneous(t *testing.T) {
+	in := core.MustHeterogeneous(table1(), []float64{0.5, 0.6, 0.7, 0.86})
+	p, err := Solve(in, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(in); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+}
+
+// TestSolveFeasibleRandom is a property test: the baseline always returns a
+// validating plan, across seeds, menus and threshold mixes.
+func TestSolveFeasibleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 60; trial++ {
+		bins := randomMenu(rng)
+		n := 1 + rng.Intn(150)
+		th := make([]float64, n)
+		for i := range th {
+			th[i] = rng.Float64() * 0.99
+		}
+		in := core.MustHeterogeneous(bins, th)
+		p, err := Solve(in, int64(trial))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := p.Validate(in); err != nil {
+			t.Fatalf("trial %d: infeasible: %v", trial, err)
+		}
+	}
+}
+
+// TestBaselineWithinFactorOfGreedy keeps the scalable baseline honest: its
+// cost should stay within a small constant factor of Greedy's on realistic
+// homogeneous workloads (the paper finds it somewhat worse than OPQ and
+// comparable to Greedy).
+func TestBaselineWithinFactorOfGreedy(t *testing.T) {
+	in := core.MustHomogeneous(table1(), 2000, 0.9)
+	pb, err := Solve(in, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := greedy.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, cg := pb.MustCost(in.Bins()), pg.MustCost(in.Bins())
+	if cb > 2*cg {
+		t.Errorf("baseline cost %v more than 2× greedy %v", cb, cg)
+	}
+}
+
+func TestSolveFullCIPTiny(t *testing.T) {
+	in := core.MustHomogeneous(table1(), 4, 0.95)
+	p, err := SolveFullCIP(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(in); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	// The optimal plan costs 0.66 (Example 4); LP + rounding + repair
+	// should stay within a reasonable factor on this tiny instance.
+	cost := p.MustCost(in.Bins())
+	if cost > 3*0.66 {
+		t.Errorf("full-CIP cost %v too far above optimum 0.66", cost)
+	}
+}
+
+func TestSolveFullCIPHeterogeneous(t *testing.T) {
+	in := core.MustHeterogeneous(table1(), []float64{0.5, 0.6, 0.7, 0.86})
+	p, err := SolveFullCIP(in, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(in); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+}
+
+func TestSolveFullCIPColumnLimit(t *testing.T) {
+	// n = 60 with cardinality-3 bins exceeds the column budget: C(60,3)
+	// alone is 34,220, but cardinality 5 would be 5.4M.
+	bins := core.MustBinSet([]core.TaskBin{{Cardinality: 5, Confidence: 0.8, Cost: 0.2}})
+	in := core.MustHomogeneous(bins, 200, 0.9)
+	if _, err := SolveFullCIP(in, 0); err == nil {
+		t.Error("SolveFullCIP accepted an instance beyond the column budget")
+	}
+}
+
+// TestLPLowerBoundSandwich verifies LP ≤ OPT ≤ algorithm costs on the
+// running example: the bound must not exceed the known optimum 0.66 and
+// every solver must cost at least the bound.
+func TestLPLowerBoundSandwich(t *testing.T) {
+	in := core.MustHomogeneous(table1(), 4, 0.95)
+	lb, err := LPLowerBound(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb <= 0 || lb > 0.66+1e-9 {
+		t.Fatalf("LP bound %v outside (0, 0.66]", lb)
+	}
+	pg, _ := greedy.Solve(in)
+	if cg := pg.MustCost(in.Bins()); cg < lb-1e-9 {
+		t.Errorf("greedy cost %v below LP bound %v", cg, lb)
+	}
+	po, err := (opq.Solver{}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co := po.MustCost(in.Bins()); co < lb-1e-9 {
+		t.Errorf("OPQ cost %v below LP bound %v", co, lb)
+	}
+	// The per-cardinality LP bound of core must never exceed the full-CIP
+	// bound (it is a weaker relaxation).
+	if weak := core.LowerBoundLP(in); weak > lb+1e-9 {
+		t.Errorf("weak bound %v exceeds full-CIP bound %v", weak, lb)
+	}
+}
+
+func TestCombinations(t *testing.T) {
+	got := combinations(4, 2)
+	if len(got) != 6 {
+		t.Fatalf("C(4,2) enumerated %d subsets, want 6", len(got))
+	}
+	want := [][]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	for i := range want {
+		if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+			t.Errorf("combinations[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if combinations(3, 0) != nil {
+		t.Error("C(n,0) should be nil")
+	}
+	if combinations(2, 3) != nil {
+		t.Error("C(2,3) should be nil")
+	}
+	if len(combinations(5, 5)) != 1 {
+		t.Error("C(5,5) should have exactly one subset")
+	}
+}
+
+func TestSolverInterface(t *testing.T) {
+	var s core.Solver = Solver{Seed: 1}
+	if s.Name() != "Baseline" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	in := core.MustHomogeneous(table1(), 10, 0.9)
+	p, err := s.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomMenu(rng *rand.Rand) core.BinSet {
+	m := 1 + rng.Intn(6)
+	bins := make([]core.TaskBin, 0, m)
+	conf := 0.90 + 0.08*rng.Float64()
+	cost := 0.08 + 0.04*rng.Float64()
+	for l := 1; l <= m; l++ {
+		bins = append(bins, core.TaskBin{Cardinality: l, Confidence: conf, Cost: cost})
+		conf -= 0.02 + 0.03*rng.Float64()
+		if conf < 0.55 {
+			conf = 0.55
+		}
+		cost += cost * (0.5 + 0.3*rng.Float64()) / float64(l)
+	}
+	return core.MustBinSet(bins)
+}
+
+func TestGroupLPRespectsSmallGroups(t *testing.T) {
+	// A menu whose only bin is far larger than the task count: the
+	// aggregated LP must account for the wasted slots (min(l, |g|)) and
+	// still produce a feasible plan.
+	bins := core.MustBinSet([]core.TaskBin{{Cardinality: 10, Confidence: 0.8, Cost: 0.4}})
+	in := core.MustHomogeneous(bins, 3, 0.95)
+	p, err := Solve(in, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(in); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+}
+
+func TestRepairCoversRoundedDownPlans(t *testing.T) {
+	// Run many seeds; every plan must validate regardless of how rounding
+	// falls. This exercises the repair path statistically.
+	in := core.MustHomogeneous(table1(), 17, 0.93)
+	for seed := int64(0); seed < 40; seed++ {
+		p, err := Solve(in, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := p.Validate(in); err != nil {
+			t.Fatalf("seed %d: infeasible: %v", seed, err)
+		}
+	}
+}
+
+func TestFullCIPLowerBoundVsOptimal(t *testing.T) {
+	// For the trivial one-task instance the LP bound has a closed form:
+	// θ/w_1 × c_1 with the best cost-per-mass bin (b1 of the menu).
+	in := core.MustHomogeneous(table1(), 1, 0.95)
+	lb, err := LPLowerBound(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.Theta(0.95) / (-math.Log1p(-0.9)) * 0.1
+	if math.Abs(lb-want) > 1e-6 {
+		t.Errorf("LP bound = %v, want %v", lb, want)
+	}
+}

@@ -1,0 +1,112 @@
+// Package binset constructs the task-bin menus the SLADE evaluation runs
+// on: the Table-1 running-example menu and the Jelly / SMIC menus derived
+// from the crowd-market simulator in the way Section 3.1 prescribes —
+// confidence from the (probed) cardinality-confidence curve and a price per
+// cardinality that meets the platform's response-time requirement.
+//
+// Pricing follows the structure of Table 1: the per-task price u_l declines
+// with cardinality while the bin price c_l = l·u_l grows, reflecting the
+// batching discount workers accept for streaks of similar tasks. Menus are
+// parameterized as u_l = floor + slope/l, which reproduces the Table-1
+// shape (strictly decreasing per-task cost with diminishing returns) and
+// keeps every bin's expected completion time within the platform deadline.
+package binset
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/crowdsim"
+)
+
+// Table1 returns the running-example menu of Table 1 of the paper:
+// b1=<1,0.9,$0.10>, b2=<2,0.85,$0.18>, b3=<3,0.8,$0.24>.
+func Table1() core.BinSet {
+	return core.MustBinSet([]core.TaskBin{
+		{Cardinality: 1, Confidence: 0.90, Cost: 0.10},
+		{Cardinality: 2, Confidence: 0.85, Cost: 0.18},
+		{Cardinality: 3, Confidence: 0.80, Cost: 0.24},
+	})
+}
+
+// Pricing parameterizes the per-task price curve u_l = Floor + Slope/l.
+type Pricing struct {
+	// Floor is the asymptotic per-task price for very large bins.
+	Floor float64
+	// Slope sets how quickly small bins are penalized: u_1 = Floor+Slope.
+	Slope float64
+}
+
+// PerTask returns u_l for the given cardinality.
+func (p Pricing) PerTask(l int) float64 { return p.Floor + p.Slope/float64(l) }
+
+// BinPrice returns c_l = l·u_l.
+func (p Pricing) BinPrice(l int) float64 { return float64(l) * p.PerTask(l) }
+
+// JellyPricing is the price curve used for the Jelly menus: u_1 = $0.10
+// falling toward $0.028 per task for large bins.
+var JellyPricing = Pricing{Floor: 0.028, Slope: 0.072}
+
+// SMICPricing is the price curve used for the SMIC menus: u_1 = $0.10
+// falling toward $0.030 per task.
+var SMICPricing = Pricing{Floor: 0.030, Slope: 0.070}
+
+// FromPlatform derives a menu of bins with cardinalities 1..maxCard from a
+// crowd platform: each bin is priced by the pricing curve and its
+// confidence is the platform's ground-truth confidence at that cardinality,
+// price and difficulty. It errors if any bin would miss the platform
+// deadline — per Section 3.1, prices must meet the response-time
+// requirement.
+func FromPlatform(pl *crowdsim.Platform, maxCard, difficulty int, pricing Pricing) (core.BinSet, error) {
+	if maxCard < 1 {
+		return core.BinSet{}, fmt.Errorf("binset: maxCard %d < 1", maxCard)
+	}
+	bins := make([]core.TaskBin, 0, maxCard)
+	for l := 1; l <= maxCard; l++ {
+		price := pricing.BinPrice(l)
+		if pl.ExpectedDuration(l, price) > pl.Params().Deadline {
+			return core.BinSet{}, fmt.Errorf(
+				"binset: cardinality %d at $%.3f misses the %v deadline", l, price, pl.Params().Deadline)
+		}
+		bins = append(bins, core.TaskBin{
+			Cardinality: l,
+			Confidence:  pl.TrueConfidence(l, price, difficulty),
+			Cost:        price,
+		})
+	}
+	return core.NewBinSet(bins)
+}
+
+// Jelly returns the Jelly-Beans-in-a-Jar menu with cardinalities
+// 1..maxCard at the default difficulty, derived deterministically from the
+// crowdsim Jelly model.
+func Jelly(maxCard int) (core.BinSet, error) {
+	pl := crowdsim.New(crowdsim.Jelly(), 0)
+	return FromPlatform(pl, maxCard, crowdsim.DefaultDifficulty, JellyPricing)
+}
+
+// SMIC returns the Micro-Expressions Identification menu with cardinalities
+// 1..maxCard at the default difficulty.
+func SMIC(maxCard int) (core.BinSet, error) {
+	pl := crowdsim.New(crowdsim.SMIC(), 0)
+	return FromPlatform(pl, maxCard, crowdsim.DefaultDifficulty, SMICPricing)
+}
+
+// MustJelly is Jelly that panics on error; for the experiment harness whose
+// parameters are statically known to be valid.
+func MustJelly(maxCard int) core.BinSet {
+	bs, err := Jelly(maxCard)
+	if err != nil {
+		panic(err)
+	}
+	return bs
+}
+
+// MustSMIC is SMIC that panics on error.
+func MustSMIC(maxCard int) core.BinSet {
+	bs, err := SMIC(maxCard)
+	if err != nil {
+		panic(err)
+	}
+	return bs
+}

@@ -1,0 +1,134 @@
+package binset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crowdsim"
+)
+
+func TestTable1(t *testing.T) {
+	bs := Table1()
+	if bs.Len() != 3 {
+		t.Fatalf("Table1 has %d bins, want 3", bs.Len())
+	}
+	b2, ok := bs.ByCardinality(2)
+	if !ok || b2.Confidence != 0.85 || b2.Cost != 0.18 {
+		t.Errorf("b2 = %+v, want <2, 0.85, 0.18>", b2)
+	}
+}
+
+func TestPricingShape(t *testing.T) {
+	for _, p := range []Pricing{JellyPricing, SMICPricing} {
+		prevPerTask := math.Inf(1)
+		prevBin := 0.0
+		for l := 1; l <= 30; l++ {
+			u := p.PerTask(l)
+			c := p.BinPrice(l)
+			if u >= prevPerTask {
+				t.Errorf("per-task price not strictly decreasing at l=%d", l)
+			}
+			if c <= prevBin {
+				t.Errorf("bin price not strictly increasing at l=%d", l)
+			}
+			prevPerTask, prevBin = u, c
+		}
+	}
+}
+
+func TestJellyMenuShape(t *testing.T) {
+	bs := MustJelly(20)
+	if bs.Len() != 20 {
+		t.Fatalf("Jelly(20) has %d bins", bs.Len())
+	}
+	prevConf := 2.0
+	for i := 0; i < bs.Len(); i++ {
+		b := bs.At(i)
+		if b.Cardinality != i+1 {
+			t.Errorf("bin %d has cardinality %d", i, b.Cardinality)
+		}
+		if b.Confidence >= prevConf {
+			t.Errorf("confidence not decreasing at cardinality %d", b.Cardinality)
+		}
+		prevConf = b.Confidence
+	}
+}
+
+func TestSMICBelowJelly(t *testing.T) {
+	j := MustJelly(20)
+	s := MustSMIC(20)
+	for l := 1; l <= 20; l++ {
+		bj, _ := j.ByCardinality(l)
+		bsm, _ := s.ByCardinality(l)
+		if bsm.Confidence >= bj.Confidence {
+			t.Errorf("SMIC confidence %v ≥ Jelly %v at cardinality %d",
+				bsm.Confidence, bj.Confidence, l)
+		}
+	}
+}
+
+func TestMenusMeetDeadline(t *testing.T) {
+	cases := []struct {
+		name    string
+		params  crowdsim.Params
+		pricing Pricing
+	}{
+		{"Jelly", crowdsim.Jelly(), JellyPricing},
+		{"SMIC", crowdsim.SMIC(), SMICPricing},
+	}
+	for _, c := range cases {
+		pl := crowdsim.New(c.params, 0)
+		bs, err := FromPlatform(pl, 30, crowdsim.DefaultDifficulty, c.pricing)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		for _, b := range bs.Bins() {
+			if pl.ExpectedDuration(b.Cardinality, b.Cost) > c.params.Deadline {
+				t.Errorf("%s: bin %d misses deadline", c.name, b.Cardinality)
+			}
+		}
+	}
+}
+
+func TestFromPlatformRejectsBadInput(t *testing.T) {
+	pl := crowdsim.New(crowdsim.Jelly(), 0)
+	if _, err := FromPlatform(pl, 0, 2, JellyPricing); err == nil {
+		t.Error("maxCard 0 accepted")
+	}
+	// A pricing curve below the market clearing price must be rejected:
+	// floor below K/D means large bins can never finish in time.
+	cheap := Pricing{Floor: 0.0005, Slope: 0.001}
+	if _, err := FromPlatform(pl, 30, 2, cheap); err == nil {
+		t.Error("sub-clearing pricing accepted")
+	}
+}
+
+func TestMenuUsableBySolvers(t *testing.T) {
+	// The default evaluation configuration must be a valid instance.
+	for _, bs := range []core.BinSet{MustJelly(20), MustSMIC(20)} {
+		if _, err := core.NewHomogeneous(bs, 100, 0.9); err != nil {
+			t.Errorf("menu rejected by instance builder: %v", err)
+		}
+	}
+}
+
+func TestDifficultyAffectsMenu(t *testing.T) {
+	pl := crowdsim.New(crowdsim.Jelly(), 0)
+	easy, err := FromPlatform(pl, 10, 1, JellyPricing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard, err := FromPlatform(pl, 10, 3, JellyPricing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 1; l <= 10; l++ {
+		be, _ := easy.ByCardinality(l)
+		bh, _ := hard.ByCardinality(l)
+		if be.Confidence <= bh.Confidence {
+			t.Errorf("difficulty 1 confidence %v ≤ difficulty 3 %v at l=%d",
+				be.Confidence, bh.Confidence, l)
+		}
+	}
+}

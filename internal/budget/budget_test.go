@@ -1,0 +1,103 @@
+package budget
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/binset"
+	"repro/internal/core"
+)
+
+func table1() core.BinSet { return binset.Table1() }
+
+func TestMaxReliabilityRespectsBudget(t *testing.T) {
+	for _, budget := range []float64{9, 15, 20, 100} {
+		res, err := MaxReliability(table1(), 100, budget, Options{})
+		if err != nil {
+			t.Fatalf("budget %v: %v", budget, err)
+		}
+		if res.Cost > budget+1e-9 {
+			t.Errorf("budget %v: plan costs %v", budget, res.Cost)
+		}
+		in, err := core.NewHomogeneous(table1(), 100, res.Threshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Plan.Validate(in); err != nil {
+			t.Errorf("budget %v: plan infeasible at claimed threshold: %v", budget, err)
+		}
+	}
+}
+
+func TestMaxReliabilityMonotoneInBudget(t *testing.T) {
+	prev := -1.0
+	for _, budget := range []float64{9, 12, 16, 32, 64} {
+		res, err := MaxReliability(table1(), 100, budget, Options{})
+		if err != nil {
+			t.Fatalf("budget %v: %v", budget, err)
+		}
+		if res.Threshold < prev-1e-6 {
+			t.Errorf("threshold fell from %v to %v as budget rose to %v", prev, res.Threshold, budget)
+		}
+		prev = res.Threshold
+	}
+}
+
+func TestMaxReliabilityHighBudgetSaturates(t *testing.T) {
+	res, err := MaxReliability(table1(), 10, 1e6, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threshold < 0.99 {
+		t.Errorf("unlimited budget reached only t=%v", res.Threshold)
+	}
+}
+
+func TestMaxReliabilityInsufficientBudget(t *testing.T) {
+	// 10,000 tasks on a menu whose cheapest bin costs $0.10: a $1 budget
+	// cannot even touch each task once.
+	if _, err := MaxReliability(table1(), 10_000, 1, Options{}); err == nil {
+		t.Error("hopeless budget accepted")
+	}
+}
+
+func TestMaxReliabilityRejectsBadInput(t *testing.T) {
+	if _, err := MaxReliability(table1(), 0, 10, Options{}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := MaxReliability(table1(), 10, 0, Options{}); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestCostCurveMonotoneOverall(t *testing.T) {
+	ts := []float64{0.5, 0.7, 0.8, 0.9, 0.95, 0.97, 0.99}
+	curve, err := CostCurve(table1(), 300, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Endpoints must be strictly ordered; interior steps may be flat.
+	if curve[len(curve)-1] <= curve[0] {
+		t.Errorf("cost curve not increasing: %v", curve)
+	}
+	for i, c := range curve {
+		if c <= 0 {
+			t.Errorf("non-positive cost %v at t=%v", c, ts[i])
+		}
+	}
+}
+
+func TestBudgetJellyMenu(t *testing.T) {
+	menu := binset.MustJelly(20)
+	res, err := MaxReliability(menu, 10_000, 400, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From the Figure-6a reproduction, $400 buys ≈ t=0.95 on Jelly.
+	if res.Threshold < 0.90 || res.Threshold > 0.99 {
+		t.Errorf("threshold %v outside the expected band for $400", res.Threshold)
+	}
+	if math.Abs(res.Cost-400) > 100 {
+		t.Errorf("cost %v far from the budget ceiling", res.Cost)
+	}
+}

@@ -1,0 +1,233 @@
+// Package calib learns task-bin parameters from probe bins, implementing
+// the methodology Section 3.1 of the SLADE paper sketches: "when a batch of
+// atomic tasks arrives, one can regularly issue testing task bins with
+// different cardinalities. The atomic tasks in testing task bins are the
+// same as the real tasks, yet the ground truth is known to calculate the
+// confidence... the confidence can be obtained by regression or counting
+// methods."
+//
+// Calibrate drives a crowdsim.Platform with probe bins at each cardinality,
+// estimates per-cardinality confidence by counting, smooths the estimates
+// with an isotonic (non-increasing) projection — confidence cannot rise
+// with cognitive load — optionally cross-checked with a least-squares
+// linear fit, and assembles a core.BinSet priced by the given curve.
+package calib
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/binset"
+	"repro/internal/core"
+	"repro/internal/crowdsim"
+)
+
+// Estimate is the calibrated view of one cardinality.
+type Estimate struct {
+	// Cardinality is the probed bin size.
+	Cardinality int
+	// Pay is the bin price the probes were issued at.
+	Pay float64
+	// Confidence is the counting estimate (fraction of correct answers
+	// among in-time probe bins); NaN when every probe timed out.
+	Confidence float64
+	// OvertimeRate is the fraction of probes missing the deadline.
+	OvertimeRate float64
+	// Assignments is the number of probe bins issued.
+	Assignments int
+}
+
+// ProbeCurve issues `assignments` probe bins for every cardinality
+// 1..maxCard at the pricing curve's bin price and returns the raw counting
+// estimates.
+func ProbeCurve(pl *crowdsim.Platform, pricing binset.Pricing, maxCard, difficulty, assignments int) ([]Estimate, error) {
+	if maxCard < 1 {
+		return nil, fmt.Errorf("calib: maxCard %d < 1", maxCard)
+	}
+	if assignments < 1 {
+		return nil, fmt.Errorf("calib: assignments %d < 1", assignments)
+	}
+	out := make([]Estimate, 0, maxCard)
+	for l := 1; l <= maxCard; l++ {
+		pay := pricing.BinPrice(l)
+		res := pl.Probe(l, pay, difficulty, assignments)
+		out = append(out, Estimate{
+			Cardinality:  l,
+			Pay:          pay,
+			Confidence:   res.MeanConfidence,
+			OvertimeRate: res.OvertimeRate,
+			Assignments:  assignments,
+		})
+	}
+	return out, nil
+}
+
+// FitLinear least-squares fits confidence = a + b·cardinality over the
+// estimates with defined confidence. It errors when fewer than two points
+// are usable.
+func FitLinear(ests []Estimate) (a, b float64, err error) {
+	var sx, sy, sxx, sxy float64
+	n := 0
+	for _, e := range ests {
+		if math.IsNaN(e.Confidence) {
+			continue
+		}
+		x := float64(e.Cardinality)
+		sx += x
+		sy += e.Confidence
+		sxx += x * x
+		sxy += x * e.Confidence
+		n++
+	}
+	if n < 2 {
+		return 0, 0, fmt.Errorf("calib: only %d usable points for regression", n)
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if math.Abs(den) < 1e-12 {
+		return 0, 0, fmt.Errorf("calib: degenerate regression (constant cardinality)")
+	}
+	b = (fn*sxy - sx*sy) / den
+	a = (sy - b*sx) / fn
+	return a, b, nil
+}
+
+// IsotonicDecreasing projects vals onto the nearest (least-squares)
+// non-increasing sequence using the pool-adjacent-violators algorithm.
+// NaN entries must be filled by the caller beforehand.
+func IsotonicDecreasing(vals []float64) []float64 {
+	n := len(vals)
+	if n == 0 {
+		return nil
+	}
+	// PAV on the negated sequence enforces non-decreasing, i.e. the
+	// original becomes non-increasing.
+	type block struct {
+		sum   float64
+		count int
+	}
+	blocks := make([]block, 0, n)
+	for _, v := range vals {
+		blocks = append(blocks, block{sum: -v, count: 1})
+		for len(blocks) >= 2 {
+			last := blocks[len(blocks)-1]
+			prev := blocks[len(blocks)-2]
+			if prev.sum/float64(prev.count) <= last.sum/float64(last.count)+1e-15 {
+				break
+			}
+			blocks = blocks[:len(blocks)-2]
+			blocks = append(blocks, block{sum: prev.sum + last.sum, count: prev.count + last.count})
+		}
+	}
+	out := make([]float64, 0, n)
+	for _, bl := range blocks {
+		mean := -bl.sum / float64(bl.count)
+		for i := 0; i < bl.count; i++ {
+			out = append(out, mean)
+		}
+	}
+	return out
+}
+
+// Options configures Calibrate.
+type Options struct {
+	// MaxCardinality bounds the menu (default 20, the evaluation default).
+	MaxCardinality int
+	// Difficulty is the task difficulty level probed (default 2).
+	Difficulty int
+	// Assignments is the number of probe bins per cardinality (default 50).
+	Assignments int
+	// Pricing is the price curve (default binset.JellyPricing).
+	Pricing binset.Pricing
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.MaxCardinality == 0 {
+		o.MaxCardinality = 20
+	}
+	if o.Difficulty == 0 {
+		o.Difficulty = crowdsim.DefaultDifficulty
+	}
+	if o.Assignments == 0 {
+		o.Assignments = 50
+	}
+	if o.Pricing == (binset.Pricing{}) {
+		o.Pricing = binset.JellyPricing
+	}
+	return o
+}
+
+// Result is the calibration output: the usable menu plus the evidence it
+// was built from.
+type Result struct {
+	// Bins is the calibrated menu, restricted to cardinalities whose
+	// probes finished in time.
+	Bins core.BinSet
+	// Raw holds the counting estimates per cardinality.
+	Raw []Estimate
+	// Smoothed holds the isotonic-projected confidences, parallel to Raw.
+	Smoothed []float64
+	// RegressionA and RegressionB are the linear-fit parameters
+	// confidence ≈ A + B·cardinality (B < 0 in sane markets).
+	RegressionA, RegressionB float64
+}
+
+// Calibrate probes the platform and assembles a menu: counting estimates,
+// linear regression to impute cardinalities whose probes all timed out,
+// isotonic projection for monotonicity, and a validity clamp into (0, 1).
+// Cardinalities with an overtime rate above 50% are dropped from the menu —
+// the platform cannot reliably serve them at this price.
+func Calibrate(pl *crowdsim.Platform, opts Options) (*Result, error) {
+	o := opts.withDefaults()
+	ests, err := ProbeCurve(pl, o.Pricing, o.MaxCardinality, o.Difficulty, o.Assignments)
+	if err != nil {
+		return nil, err
+	}
+	a, b, err := FitLinear(ests)
+	if err != nil {
+		return nil, err
+	}
+	filled := make([]float64, len(ests))
+	for i, e := range ests {
+		if math.IsNaN(e.Confidence) {
+			filled[i] = a + b*float64(e.Cardinality)
+		} else {
+			filled[i] = e.Confidence
+		}
+	}
+	smoothed := IsotonicDecreasing(filled)
+
+	var bins []core.TaskBin
+	for i, e := range ests {
+		if e.OvertimeRate > 0.5 {
+			continue
+		}
+		conf := smoothed[i]
+		if conf <= 0 {
+			conf = 0.01
+		}
+		if conf >= 1 {
+			conf = 0.999
+		}
+		bins = append(bins, core.TaskBin{
+			Cardinality: e.Cardinality,
+			Confidence:  conf,
+			Cost:        e.Pay,
+		})
+	}
+	if len(bins) == 0 {
+		return nil, fmt.Errorf("calib: every cardinality timed out; raise the price curve")
+	}
+	bs, err := core.NewBinSet(bins)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Bins:        bs,
+		Raw:         ests,
+		Smoothed:    smoothed,
+		RegressionA: a,
+		RegressionB: b,
+	}, nil
+}

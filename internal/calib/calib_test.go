@@ -1,0 +1,168 @@
+package calib
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/binset"
+	"repro/internal/crowdsim"
+)
+
+func TestProbeCurveShape(t *testing.T) {
+	pl := crowdsim.New(crowdsim.Jelly(), 3)
+	ests, err := ProbeCurve(pl, binset.JellyPricing, 20, crowdsim.DefaultDifficulty, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 20 {
+		t.Fatalf("got %d estimates", len(ests))
+	}
+	// Estimates should track the model within sampling noise.
+	for _, e := range ests {
+		if math.IsNaN(e.Confidence) {
+			continue
+		}
+		want := pl.TrueConfidence(e.Cardinality, e.Pay, crowdsim.DefaultDifficulty)
+		if math.Abs(e.Confidence-want) > 0.08 {
+			t.Errorf("cardinality %d: estimate %v vs model %v", e.Cardinality, e.Confidence, want)
+		}
+	}
+}
+
+func TestProbeCurveRejectsBadInput(t *testing.T) {
+	pl := crowdsim.New(crowdsim.Jelly(), 3)
+	if _, err := ProbeCurve(pl, binset.JellyPricing, 0, 2, 10); err == nil {
+		t.Error("maxCard 0 accepted")
+	}
+	if _, err := ProbeCurve(pl, binset.JellyPricing, 5, 2, 0); err == nil {
+		t.Error("0 assignments accepted")
+	}
+}
+
+func TestFitLinearRecoversSlope(t *testing.T) {
+	// Perfect linear data: confidence = 0.99 - 0.007·l.
+	ests := make([]Estimate, 0, 20)
+	for l := 1; l <= 20; l++ {
+		ests = append(ests, Estimate{Cardinality: l, Confidence: 0.99 - 0.007*float64(l)})
+	}
+	a, b, err := FitLinear(ests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-0.99) > 1e-9 || math.Abs(b+0.007) > 1e-9 {
+		t.Errorf("fit = (%v, %v), want (0.99, -0.007)", a, b)
+	}
+}
+
+func TestFitLinearSkipsNaN(t *testing.T) {
+	ests := []Estimate{
+		{Cardinality: 1, Confidence: 0.9},
+		{Cardinality: 2, Confidence: math.NaN()},
+		{Cardinality: 3, Confidence: 0.8},
+	}
+	a, b, err := FitLinear(ests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-0.95) > 1e-9 || math.Abs(b+0.05) > 1e-9 {
+		t.Errorf("fit = (%v, %v), want (0.95, -0.05)", a, b)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, _, err := FitLinear(nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+	one := []Estimate{{Cardinality: 1, Confidence: 0.9}}
+	if _, _, err := FitLinear(one); err == nil {
+		t.Error("single point accepted")
+	}
+	same := []Estimate{{Cardinality: 2, Confidence: 0.9}, {Cardinality: 2, Confidence: 0.8}}
+	if _, _, err := FitLinear(same); err == nil {
+		t.Error("constant-cardinality fit accepted")
+	}
+}
+
+func TestIsotonicDecreasing(t *testing.T) {
+	in := []float64{0.9, 0.95, 0.8, 0.85, 0.7}
+	out := IsotonicDecreasing(in)
+	if len(out) != len(in) {
+		t.Fatalf("length changed: %d", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] > out[i-1]+1e-12 {
+			t.Fatalf("not non-increasing at %d: %v", i, out)
+		}
+	}
+	// PAV pools violators to their mean: first two become 0.925, the
+	// middle two 0.825.
+	if math.Abs(out[0]-0.925) > 1e-9 || math.Abs(out[2]-0.825) > 1e-9 {
+		t.Errorf("projection = %v", out)
+	}
+	// Already-monotone input is unchanged.
+	mono := []float64{0.9, 0.8, 0.7}
+	got := IsotonicDecreasing(mono)
+	for i := range mono {
+		if got[i] != mono[i] {
+			t.Errorf("monotone input changed: %v", got)
+		}
+	}
+	if IsotonicDecreasing(nil) != nil {
+		t.Error("nil input should stay nil")
+	}
+}
+
+func TestCalibrateEndToEnd(t *testing.T) {
+	pl := crowdsim.New(crowdsim.Jelly(), 9)
+	res, err := Calibrate(pl, Options{MaxCardinality: 20, Assignments: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bins.Len() == 0 {
+		t.Fatal("calibration produced an empty menu")
+	}
+	// Slope must be negative: confidence declines with cardinality.
+	if res.RegressionB >= 0 {
+		t.Errorf("regression slope %v, want negative", res.RegressionB)
+	}
+	// Menu confidences must be non-increasing and close to the model.
+	prev := 2.0
+	for _, b := range res.Bins.Bins() {
+		if b.Confidence > prev+1e-12 {
+			t.Errorf("menu confidence rises at cardinality %d", b.Cardinality)
+		}
+		prev = b.Confidence
+		want := pl.TrueConfidence(b.Cardinality, b.Cost, crowdsim.DefaultDifficulty)
+		if math.Abs(b.Confidence-want) > 0.08 {
+			t.Errorf("cardinality %d: calibrated %v vs model %v", b.Cardinality, b.Confidence, want)
+		}
+	}
+}
+
+func TestCalibrateDropsOvertimeCardinalities(t *testing.T) {
+	// An ultra-cheap price curve: large bins cannot finish in time, so the
+	// calibrated menu must be truncated (or calibration must fail if
+	// nothing survives).
+	pl := crowdsim.New(crowdsim.Jelly(), 5)
+	cheap := binset.Pricing{Floor: 0.001, Slope: 0.02}
+	res, err := Calibrate(pl, Options{MaxCardinality: 30, Assignments: 40, Pricing: cheap})
+	if err != nil {
+		// Acceptable outcome: nothing survived.
+		return
+	}
+	if res.Bins.MaxCardinality() >= 30 {
+		t.Errorf("max calibrated cardinality %d; expected truncation under cheap pricing",
+			res.Bins.MaxCardinality())
+	}
+}
+
+func TestCalibrateDefaults(t *testing.T) {
+	pl := crowdsim.New(crowdsim.SMIC(), 2)
+	res, err := Calibrate(pl, Options{Pricing: binset.SMICPricing, Assignments: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bins.MaxCardinality() > 20 {
+		t.Errorf("default MaxCardinality exceeded: %d", res.Bins.MaxCardinality())
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzInstanceJSON fuzzes the Instance decoder: arbitrary bytes must either
+// fail to decode or produce an instance that re-validates and round-trips.
+func FuzzInstanceJSON(f *testing.F) {
+	seed, _ := json.Marshal(MustHeterogeneous(table1(), []float64{0.5, 0.9}))
+	f.Add(seed)
+	f.Add([]byte(`{"bins":[{"cardinality":1,"confidence":0.9,"cost":0.1}],"thresholds":[0.5]}`))
+	f.Add([]byte(`{"bins":[],"thresholds":[]}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var in Instance
+		if err := json.Unmarshal(data, &in); err != nil {
+			return // rejected input is fine
+		}
+		// Accepted input must satisfy every invariant.
+		if err := in.Bins().Validate(); err != nil {
+			t.Fatalf("decoded invalid bins: %v", err)
+		}
+		for i := 0; i < in.N(); i++ {
+			tt := in.Threshold(i)
+			if !(tt >= 0 && tt < 1) {
+				t.Fatalf("decoded threshold %v out of range", tt)
+			}
+			if th := in.Theta(i); math.IsNaN(th) || th < 0 {
+				t.Fatalf("theta(%v) = %v", tt, th)
+			}
+		}
+		round, err := json.Marshal(&in)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		var back Instance
+		if err := json.Unmarshal(round, &back); err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		if back.N() != in.N() {
+			t.Fatalf("round trip changed n: %d → %d", in.N(), back.N())
+		}
+	})
+}
+
+// FuzzThetaTransform fuzzes the reliability transform pair: for any t in
+// [0, 1), Theta is non-negative and ThresholdFromTheta inverts it.
+func FuzzThetaTransform(f *testing.F) {
+	f.Add(0.0)
+	f.Add(0.5)
+	f.Add(0.95)
+	f.Add(0.999999)
+	f.Fuzz(func(t *testing.T, raw float64) {
+		if math.IsNaN(raw) || raw < 0 || raw >= 1 {
+			return
+		}
+		theta := Theta(raw)
+		if theta < 0 || math.IsNaN(theta) {
+			t.Fatalf("Theta(%v) = %v", raw, theta)
+		}
+		back := ThresholdFromTheta(theta)
+		if math.Abs(back-raw) > 1e-9 {
+			t.Fatalf("round trip %v → %v → %v", raw, theta, back)
+		}
+	})
+}

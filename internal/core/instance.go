@@ -1,0 +1,155 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Instance is one SLADE problem instance: a bin menu plus a reliability
+// threshold per atomic task. Tasks are identified by their index 0..N()-1.
+type Instance struct {
+	bins       BinSet
+	thresholds []float64
+}
+
+// NewHomogeneous builds an instance of n atomic tasks sharing the threshold t.
+func NewHomogeneous(bins BinSet, n int, t float64) (*Instance, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("core: negative task count %d", n)
+	}
+	th := make([]float64, n)
+	for i := range th {
+		th[i] = t
+	}
+	return NewHeterogeneous(bins, th)
+}
+
+// NewHeterogeneous builds an instance with one threshold per atomic task.
+// The thresholds slice is copied.
+func NewHeterogeneous(bins BinSet, thresholds []float64) (*Instance, error) {
+	if err := bins.Validate(); err != nil {
+		return nil, err
+	}
+	if bins.Len() == 0 && len(thresholds) > 0 {
+		return nil, fmt.Errorf("core: empty bin menu for %d tasks", len(thresholds))
+	}
+	th := make([]float64, len(thresholds))
+	copy(th, thresholds)
+	for i, t := range th {
+		if !(t >= 0 && t < 1) {
+			return nil, fmt.Errorf("core: threshold t[%d]=%v outside [0,1)", i, t)
+		}
+	}
+	return &Instance{bins: bins, thresholds: th}, nil
+}
+
+// MustHomogeneous is NewHomogeneous that panics on error.
+func MustHomogeneous(bins BinSet, n int, t float64) *Instance {
+	in, err := NewHomogeneous(bins, n, t)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// MustHeterogeneous is NewHeterogeneous that panics on error.
+func MustHeterogeneous(bins BinSet, thresholds []float64) *Instance {
+	in, err := NewHeterogeneous(bins, thresholds)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// N returns the number of atomic tasks n = |T|.
+func (in *Instance) N() int { return len(in.thresholds) }
+
+// Bins returns the bin menu B.
+func (in *Instance) Bins() BinSet { return in.bins }
+
+// Threshold returns the reliability threshold t_i of task i.
+func (in *Instance) Threshold(i int) float64 { return in.thresholds[i] }
+
+// Thresholds returns a copy of all task thresholds.
+func (in *Instance) Thresholds() []float64 {
+	out := make([]float64, len(in.thresholds))
+	copy(out, in.thresholds)
+	return out
+}
+
+// Theta returns the transformed demand θ_i = -ln(1 - t_i) of task i.
+func (in *Instance) Theta(i int) float64 { return Theta(in.thresholds[i]) }
+
+// Homogeneous reports whether all task thresholds are equal (the
+// homogeneous SLADE variant of Section 5).
+func (in *Instance) Homogeneous() bool {
+	for i := 1; i < len(in.thresholds); i++ {
+		if in.thresholds[i] != in.thresholds[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// MinThreshold returns the smallest task threshold, or 0 for an empty
+// instance.
+func (in *Instance) MinThreshold() float64 {
+	if len(in.thresholds) == 0 {
+		return 0
+	}
+	t := in.thresholds[0]
+	for _, v := range in.thresholds[1:] {
+		if v < t {
+			t = v
+		}
+	}
+	return t
+}
+
+// MaxThreshold returns the largest task threshold, or 0 for an empty
+// instance.
+func (in *Instance) MaxThreshold() float64 {
+	t := 0.0
+	for _, v := range in.thresholds {
+		if v > t {
+			t = v
+		}
+	}
+	return t
+}
+
+// Relaxed reports whether the instance satisfies the polynomial-time relaxed
+// variant of Section 4.2: every bin's confidence meets the largest task
+// threshold, so a single assignment to any bin suffices for any task.
+func (in *Instance) Relaxed() bool {
+	return in.bins.MinConfidence() >= in.MaxThreshold()
+}
+
+// instanceJSON is the wire form of an Instance.
+type instanceJSON struct {
+	Bins       []TaskBin `json:"bins"`
+	Thresholds []float64 `json:"thresholds"`
+}
+
+// MarshalJSON encodes the instance as {"bins": [...], "thresholds": [...]}.
+func (in *Instance) MarshalJSON() ([]byte, error) {
+	return json.Marshal(instanceJSON{Bins: in.bins.Bins(), Thresholds: in.Thresholds()})
+}
+
+// UnmarshalJSON decodes and validates the wire form.
+func (in *Instance) UnmarshalJSON(data []byte) error {
+	var w instanceJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	bs, err := NewBinSet(w.Bins)
+	if err != nil {
+		return err
+	}
+	dec, err := NewHeterogeneous(bs, w.Thresholds)
+	if err != nil {
+		return err
+	}
+	*in = *dec
+	return nil
+}

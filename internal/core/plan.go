@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RelTol is the absolute tolerance used when checking reliability
+// constraints. Transformed demands are sums of logarithms, so exact equality
+// is not attainable in floating point; a plan is feasible when every task's
+// transformed mass is within RelTol of its demand.
+const RelTol = 1e-9
+
+// BinUse is one use of a task bin: a concrete batch of distinct atomic tasks
+// handed to one crowd worker.
+type BinUse struct {
+	// Cardinality selects which bin of the menu is used. The number of
+	// assigned tasks may be smaller than the cardinality (a partially
+	// filled bin still costs the full c_l).
+	Cardinality int `json:"cardinality"`
+	// Tasks lists the indices of the atomic tasks placed in this bin.
+	Tasks []int `json:"tasks"`
+}
+
+// Plan is a decomposition plan DP_T: a multiset of bin uses with concrete
+// task placements.
+type Plan struct {
+	Uses []BinUse `json:"uses"`
+}
+
+// Cost returns the total incentive cost of the plan under the given menu:
+// the sum of c_|β| over all bin uses β.
+func (p *Plan) Cost(bins BinSet) (float64, error) {
+	total := 0.0
+	for _, u := range p.Uses {
+		b, ok := bins.ByCardinality(u.Cardinality)
+		if !ok {
+			return 0, fmt.Errorf("core: plan uses unknown bin cardinality %d", u.Cardinality)
+		}
+		total += b.Cost
+	}
+	return total, nil
+}
+
+// MustCost is Cost that panics on an unknown cardinality; for plans that
+// were already validated against the same menu.
+func (p *Plan) MustCost(bins BinSet) float64 {
+	c, err := p.Cost(bins)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Counts returns the number of uses per bin cardinality — the {τ_l} vector
+// of Definition 3.
+func (p *Plan) Counts() map[int]int {
+	out := make(map[int]int)
+	for _, u := range p.Uses {
+		out[u.Cardinality]++
+	}
+	return out
+}
+
+// NumUses returns the total number of bin uses (crowd-worker batches).
+func (p *Plan) NumUses() int { return len(p.Uses) }
+
+// NumAssignments returns the total number of (task, bin) assignments.
+func (p *Plan) NumAssignments() int {
+	n := 0
+	for _, u := range p.Uses {
+		n += len(u.Tasks)
+	}
+	return n
+}
+
+// TransformedMass returns, for each task index in [0, n), the accumulated
+// transformed reliability Σ -ln(1 - r_|β|) over the bins the task is
+// assigned to. Tasks absent from the plan have mass 0.
+func (p *Plan) TransformedMass(n int, bins BinSet) ([]float64, error) {
+	mass := make([]float64, n)
+	for _, u := range p.Uses {
+		b, ok := bins.ByCardinality(u.Cardinality)
+		if !ok {
+			return nil, fmt.Errorf("core: plan uses unknown bin cardinality %d", u.Cardinality)
+		}
+		w := b.Weight()
+		for _, t := range u.Tasks {
+			if t < 0 || t >= n {
+				return nil, fmt.Errorf("core: plan assigns out-of-range task %d (n=%d)", t, n)
+			}
+			mass[t] += w
+		}
+	}
+	return mass, nil
+}
+
+// Reliability returns, for each task index in [0, n), the reliability
+// Rel(a_i, B(a_i)) = 1 - Π (1 - r_|β|) achieved by the plan.
+func (p *Plan) Reliability(n int, bins BinSet) ([]float64, error) {
+	mass, err := p.TransformedMass(n, bins)
+	if err != nil {
+		return nil, err
+	}
+	rel := make([]float64, n)
+	for i, m := range mass {
+		rel[i] = ThresholdFromTheta(m)
+	}
+	return rel, nil
+}
+
+// Validate checks that the plan is a feasible decomposition of the instance:
+// every bin use refers to a menu bin, holds at most Cardinality distinct
+// tasks with in-range indices, and every task's reliability meets its
+// threshold within RelTol.
+func (p *Plan) Validate(in *Instance) error {
+	n := in.N()
+	for ui, u := range p.Uses {
+		b, ok := in.Bins().ByCardinality(u.Cardinality)
+		if !ok {
+			return fmt.Errorf("core: use %d refers to unknown bin cardinality %d", ui, u.Cardinality)
+		}
+		if len(u.Tasks) > b.Cardinality {
+			return fmt.Errorf("core: use %d holds %d tasks > cardinality %d", ui, len(u.Tasks), b.Cardinality)
+		}
+		seen := make(map[int]struct{}, len(u.Tasks))
+		for _, t := range u.Tasks {
+			if t < 0 || t >= n {
+				return fmt.Errorf("core: use %d assigns out-of-range task %d (n=%d)", ui, t, n)
+			}
+			if _, dup := seen[t]; dup {
+				return fmt.Errorf("core: use %d assigns task %d twice", ui, t)
+			}
+			seen[t] = struct{}{}
+		}
+	}
+	mass, err := p.TransformedMass(n, in.Bins())
+	if err != nil {
+		return err
+	}
+	for i, m := range mass {
+		if need := in.Theta(i); m < need-RelTol {
+			return fmt.Errorf("core: task %d reliability %.6f below threshold %.6f",
+				i, ThresholdFromTheta(m), in.Threshold(i))
+		}
+	}
+	return nil
+}
+
+// Merge appends the uses of other to p. It is used to combine per-partition
+// plans in the heterogeneous solver.
+func (p *Plan) Merge(other *Plan) {
+	p.Uses = append(p.Uses, other.Uses...)
+}
+
+// Summary is a compact, printable description of a plan: uses per
+// cardinality plus the total cost, as in the paper's worked examples.
+type Summary struct {
+	// UsesByCardinality maps bin cardinality l to the number of uses τ_l.
+	UsesByCardinality map[int]int
+	// NumUses is the total number of bin uses.
+	NumUses int
+	// NumAssignments is the total number of (task, bin) pairs.
+	NumAssignments int
+	// Cost is the total incentive cost.
+	Cost float64
+}
+
+// Summarize computes the plan's Summary under the given menu.
+func (p *Plan) Summarize(bins BinSet) (Summary, error) {
+	cost, err := p.Cost(bins)
+	if err != nil {
+		return Summary{}, err
+	}
+	return Summary{
+		UsesByCardinality: p.Counts(),
+		NumUses:           p.NumUses(),
+		NumAssignments:    p.NumAssignments(),
+		Cost:              cost,
+	}, nil
+}
+
+// String renders the summary as "τ_l×b_l + ... = $cost" with cardinalities
+// in ascending order.
+func (s Summary) String() string {
+	cards := make([]int, 0, len(s.UsesByCardinality))
+	for l := range s.UsesByCardinality {
+		cards = append(cards, l)
+	}
+	sort.Ints(cards)
+	out := ""
+	for i, l := range cards {
+		if i > 0 {
+			out += " + "
+		}
+		out += fmt.Sprintf("%d×b%d", s.UsesByCardinality[l], l)
+	}
+	if out == "" {
+		out = "(empty)"
+	}
+	return fmt.Sprintf("%s = $%.4f", out, s.Cost)
+}
+
+// LowerBoundLP returns the fractional covering lower bound on the optimal
+// plan cost: each task i fractionally buys θ_i / (l·w_l) uses of the bin
+// with the best cost per unit of transformed mass. This is the LP value used
+// in the proof of Theorem 2 (OPT >= n · OPQ1.UC in the homogeneous case) and
+// serves as the reference point for approximation-ratio tests.
+func LowerBoundLP(in *Instance) float64 {
+	best := math.Inf(1)
+	for _, b := range in.Bins().Bins() {
+		// Cost per unit transformed mass, amortized over a full bin.
+		unit := b.Cost / (float64(b.Cardinality) * b.Weight())
+		if unit < best {
+			best = unit
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0
+	}
+	total := 0.0
+	for i := 0; i < in.N(); i++ {
+		total += in.Theta(i)
+	}
+	return best * total
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// examplePlanP1 is plan P1 of Example 4: four 2-cardinality bins
+// {a1,a2} ×2 and {a3,a4} ×2, total cost 0.72, reliability 0.9775 each.
+func examplePlanP1() *Plan {
+	return &Plan{Uses: []BinUse{
+		{Cardinality: 2, Tasks: []int{0, 1}},
+		{Cardinality: 2, Tasks: []int{0, 1}},
+		{Cardinality: 2, Tasks: []int{2, 3}},
+		{Cardinality: 2, Tasks: []int{2, 3}},
+	}}
+}
+
+// examplePlanP2 is plan P2 of Example 4: {a1,a2,a3}, {a1,a2,a4}, {a3,a4},
+// total cost 0.66 — the optimal plan for t = 0.95.
+func examplePlanP2() *Plan {
+	return &Plan{Uses: []BinUse{
+		{Cardinality: 3, Tasks: []int{0, 1, 2}},
+		{Cardinality: 3, Tasks: []int{0, 1, 3}},
+		{Cardinality: 2, Tasks: []int{2, 3}},
+	}}
+}
+
+func TestExample4PlanP1(t *testing.T) {
+	in := MustHomogeneous(table1(), 4, 0.95)
+	p := examplePlanP1()
+	if err := p.Validate(in); err != nil {
+		t.Fatalf("P1 should be feasible: %v", err)
+	}
+	cost := p.MustCost(in.Bins())
+	if math.Abs(cost-0.72) > 1e-12 {
+		t.Errorf("P1 cost = %v, want 0.72", cost)
+	}
+	rel, err := p.Reliability(4, in.Bins())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rel {
+		// 1 - 0.15^2 = 0.9775 (the paper rounds to 0.98).
+		if math.Abs(r-0.9775) > 1e-9 {
+			t.Errorf("P1 reliability[%d] = %v, want 0.9775", i, r)
+		}
+	}
+}
+
+func TestExample4PlanP2(t *testing.T) {
+	in := MustHomogeneous(table1(), 4, 0.95)
+	p := examplePlanP2()
+	if err := p.Validate(in); err != nil {
+		t.Fatalf("P2 should be feasible: %v", err)
+	}
+	cost := p.MustCost(in.Bins())
+	if math.Abs(cost-0.66) > 1e-12 {
+		t.Errorf("P2 cost = %v, want 0.66", cost)
+	}
+}
+
+func TestPlanValidateCatchesViolations(t *testing.T) {
+	in := MustHomogeneous(table1(), 4, 0.95)
+	cases := []struct {
+		name string
+		plan *Plan
+	}{
+		{"unknown bin", &Plan{Uses: []BinUse{{Cardinality: 7, Tasks: []int{0}}}}},
+		{"overfull bin", &Plan{Uses: []BinUse{{Cardinality: 1, Tasks: []int{0, 1}}}}},
+		{"duplicate task in bin", &Plan{Uses: []BinUse{{Cardinality: 2, Tasks: []int{0, 0}}}}},
+		{"out of range task", &Plan{Uses: []BinUse{{Cardinality: 1, Tasks: []int{4}}}}},
+		{"negative task", &Plan{Uses: []BinUse{{Cardinality: 1, Tasks: []int{-1}}}}},
+		{"below threshold", examplePlanUnder()},
+		{"empty plan", &Plan{}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.plan.Validate(in); err == nil {
+				t.Errorf("Validate accepted infeasible plan %q", c.name)
+			}
+		})
+	}
+}
+
+// examplePlanUnder covers each task once with b2 (rel 0.85 < 0.95).
+func examplePlanUnder() *Plan {
+	return &Plan{Uses: []BinUse{
+		{Cardinality: 2, Tasks: []int{0, 1}},
+		{Cardinality: 2, Tasks: []int{2, 3}},
+	}}
+}
+
+func TestPlanCountsAndAssignments(t *testing.T) {
+	p := examplePlanP2()
+	counts := p.Counts()
+	if counts[3] != 2 || counts[2] != 1 {
+		t.Errorf("Counts = %v, want map[2:1 3:2]", counts)
+	}
+	if p.NumUses() != 3 {
+		t.Errorf("NumUses = %d, want 3", p.NumUses())
+	}
+	if p.NumAssignments() != 8 {
+		t.Errorf("NumAssignments = %d, want 8", p.NumAssignments())
+	}
+}
+
+func TestPlanCostUnknownBin(t *testing.T) {
+	p := &Plan{Uses: []BinUse{{Cardinality: 9, Tasks: []int{0}}}}
+	if _, err := p.Cost(table1()); err == nil {
+		t.Error("Cost accepted unknown cardinality")
+	}
+}
+
+func TestTransformedMassAdds(t *testing.T) {
+	bs := table1()
+	p := &Plan{Uses: []BinUse{
+		{Cardinality: 1, Tasks: []int{0}},
+		{Cardinality: 3, Tasks: []int{0, 1, 2}},
+	}}
+	mass, err := p.TransformedMass(3, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := -math.Log1p(-0.9)
+	w3 := -math.Log1p(-0.8)
+	want := []float64{w1 + w3, w3, w3}
+	for i := range want {
+		if math.Abs(mass[i]-want[i]) > 1e-12 {
+			t.Errorf("mass[%d] = %v, want %v", i, mass[i], want[i])
+		}
+	}
+}
+
+func TestPlanMerge(t *testing.T) {
+	a := &Plan{Uses: []BinUse{{Cardinality: 1, Tasks: []int{0}}}}
+	b := &Plan{Uses: []BinUse{{Cardinality: 2, Tasks: []int{1, 2}}}}
+	a.Merge(b)
+	if a.NumUses() != 2 {
+		t.Fatalf("merged NumUses = %d, want 2", a.NumUses())
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	in := MustHomogeneous(table1(), 4, 0.95)
+	s, err := examplePlanP2().Summarize(in.Bins())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Cost-0.66) > 1e-12 {
+		t.Errorf("Summary.Cost = %v, want 0.66", s.Cost)
+	}
+	str := s.String()
+	if !strings.Contains(str, "1×b2") || !strings.Contains(str, "2×b3") {
+		t.Errorf("Summary.String() = %q, want it to mention 1×b2 and 2×b3", str)
+	}
+	empty := Summary{}
+	if !strings.Contains(empty.String(), "(empty)") {
+		t.Errorf("empty Summary.String() = %q", empty.String())
+	}
+}
+
+func TestLowerBoundLP(t *testing.T) {
+	in := MustHomogeneous(table1(), 4, 0.95)
+	lb := LowerBoundLP(in)
+	// The optimal plan P2 costs 0.66; the LP bound must be below it but
+	// positive.
+	if lb <= 0 || lb > 0.66+1e-12 {
+		t.Errorf("LowerBoundLP = %v, want in (0, 0.66]", lb)
+	}
+	// b1 has the best cost per unit mass: 0.1/(1*2.303) = 0.0434;
+	// total demand 4*2.996 = 11.98 → bound ≈ 0.5204.
+	want := 0.10 / (1 * -math.Log1p(-0.9)) * 4 * Theta(0.95)
+	if math.Abs(lb-want) > 1e-9 {
+		t.Errorf("LowerBoundLP = %v, want %v", lb, want)
+	}
+}
+
+func TestLowerBoundEmptyMenu(t *testing.T) {
+	in := MustHeterogeneous(BinSet{}, nil)
+	if lb := LowerBoundLP(in); lb != 0 {
+		t.Errorf("LowerBoundLP on empty instance = %v, want 0", lb)
+	}
+}
+
+func TestInstanceJSONRoundTrip(t *testing.T) {
+	in := MustHeterogeneous(table1(), []float64{0.5, 0.6, 0.7, 0.86})
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Instance
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 4 || back.Threshold(3) != 0.86 {
+		t.Errorf("round-trip lost data: n=%d t3=%v", back.N(), back.Threshold(3))
+	}
+	if back.Bins().Len() != 3 {
+		t.Errorf("round-trip lost bins: %d", back.Bins().Len())
+	}
+}
+
+func TestInstanceJSONRejectsBad(t *testing.T) {
+	var in Instance
+	bad := []string{
+		`{"bins":[{"cardinality":1,"confidence":2,"cost":0.1}],"thresholds":[0.5]}`,
+		`{"bins":[],"thresholds":[0.5]}`,
+		`{"bins":[{"cardinality":1,"confidence":0.9,"cost":0.1}],"thresholds":[1.5]}`,
+		`{not json`,
+	}
+	for _, s := range bad {
+		if err := json.Unmarshal([]byte(s), &in); err == nil {
+			t.Errorf("UnmarshalJSON accepted %q", s)
+		}
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	p := examplePlanP2()
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Plan
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumUses() != 3 || back.NumAssignments() != 8 {
+		t.Errorf("round-trip lost uses: %d/%d", back.NumUses(), back.NumAssignments())
+	}
+}

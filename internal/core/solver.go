@@ -1,0 +1,28 @@
+package core
+
+// Solver is the interface shared by every SLADE algorithm in this
+// repository: Greedy (Algorithm 1), OPQ-Based (Algorithm 3), OPQ-Extended
+// (Algorithm 5), the CIP baseline (Section 4.3), and the exact solvers used
+// in tests.
+type Solver interface {
+	// Name identifies the algorithm in experiment output ("Greedy",
+	// "OPQ-Based", "Baseline", ...).
+	Name() string
+	// Solve returns a feasible decomposition plan for the instance. The
+	// returned plan must pass Plan.Validate against the same instance.
+	Solve(in *Instance) (*Plan, error)
+}
+
+// SolverFunc adapts a function to the Solver interface.
+type SolverFunc struct {
+	// SolverName is returned by Name.
+	SolverName string
+	// Fn computes the plan.
+	Fn func(in *Instance) (*Plan, error)
+}
+
+// Name implements Solver.
+func (s SolverFunc) Name() string { return s.SolverName }
+
+// Solve implements Solver.
+func (s SolverFunc) Solve(in *Instance) (*Plan, error) { return s.Fn(in) }

@@ -1,0 +1,147 @@
+package crowdsim
+
+import (
+	"math"
+	"testing"
+)
+
+func testPool(t *testing.T, cfg PoolConfig, seed int64) *Pool {
+	t.Helper()
+	pl := New(Jelly(), seed)
+	p, err := NewPool(pl, cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	pl := New(Jelly(), 1)
+	if _, err := NewPool(pl, PoolConfig{Size: 0}, 1); err == nil {
+		t.Error("zero-size pool accepted")
+	}
+	if _, err := NewPool(pl, PoolConfig{Size: 10, SpammerFraction: 1.5}, 1); err == nil {
+		t.Error("spammer fraction > 1 accepted")
+	}
+}
+
+func TestPoolWorkerAccess(t *testing.T) {
+	p := testPool(t, DefaultPoolConfig, 3)
+	if p.Size() != DefaultPoolConfig.Size {
+		t.Errorf("Size = %d", p.Size())
+	}
+	w, err := p.Worker(0)
+	if err != nil || w.ID != 0 {
+		t.Errorf("Worker(0) = %+v, %v", w, err)
+	}
+	if _, err := p.Worker(-1); err == nil {
+		t.Error("negative worker id accepted")
+	}
+	if _, err := p.Worker(p.Size()); err == nil {
+		t.Error("out-of-range worker id accepted")
+	}
+}
+
+func TestPoolRunBinTracksWorkers(t *testing.T) {
+	p := testPool(t, PoolConfig{Size: 5, SkillSigma: 0.02}, 4)
+	truth := []bool{true, false, true}
+	for i := 0; i < 50; i++ {
+		out, wid := p.RunBin(3, 0.10, DefaultDifficulty, truth)
+		if len(out.Answers) != 3 {
+			t.Fatalf("answers = %d", len(out.Answers))
+		}
+		if wid < 0 || wid >= 5 {
+			t.Fatalf("worker id %d out of range", wid)
+		}
+	}
+	total := 0
+	for id := 0; id < 5; id++ {
+		w, _ := p.Worker(id)
+		total += w.Completed
+	}
+	if total != 50 {
+		t.Errorf("completed bins sum to %d, want 50", total)
+	}
+}
+
+// TestQualificationRemovesSpammers is the headline pool property: probing
+// with known ground truth and banning low-accuracy workers removes
+// spammers and lifts the pool's delivered confidence.
+func TestQualificationRemovesSpammers(t *testing.T) {
+	cfg := PoolConfig{Size: 200, SkillSigma: 0.02, SpammerFraction: 0.25}
+	p := testPool(t, cfg, 11)
+	before := p.EmpiricalConfidence(5, 0.10, DefaultDifficulty, 600)
+
+	banned, err := p.Qualify(5, 0.10, DefaultDifficulty, 10, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Roughly a quarter of the pool are spammers at ~50% accuracy; the
+	// 0.75 bar should catch most of them and few honest workers.
+	if banned < 30 || banned > 80 {
+		t.Errorf("banned %d workers, expected ≈50 spammers", banned)
+	}
+	after := p.EmpiricalConfidence(5, 0.10, DefaultDifficulty, 600)
+	if after <= before {
+		t.Errorf("qualification did not improve confidence: %v → %v", before, after)
+	}
+	// Post-qualification confidence should approach the honest model.
+	pl := New(Jelly(), 99)
+	model := pl.TrueConfidence(5, 0.10, DefaultDifficulty)
+	if math.Abs(after-model) > 0.04 {
+		t.Errorf("post-qualification confidence %v far from model %v", after, model)
+	}
+	if p.ActiveWorkers() != p.Size()-banned {
+		t.Errorf("ActiveWorkers = %d, want %d", p.ActiveWorkers(), p.Size()-banned)
+	}
+}
+
+func TestQualifyValidation(t *testing.T) {
+	p := testPool(t, PoolConfig{Size: 10}, 1)
+	if _, err := p.Qualify(0, 0.1, 2, 5, 0.7); err == nil {
+		t.Error("cardinality 0 accepted")
+	}
+	if _, err := p.Qualify(3, 0.1, 2, 0, 0.7); err == nil {
+		t.Error("zero probes accepted")
+	}
+}
+
+func TestQualifyBanningEveryoneErrors(t *testing.T) {
+	p := testPool(t, PoolConfig{Size: 10, SpammerFraction: 1.0}, 2)
+	if _, err := p.Qualify(5, 0.10, DefaultDifficulty, 10, 0.95); err == nil {
+		t.Error("expected an error when qualification empties the pool")
+	}
+}
+
+func TestTopWorkers(t *testing.T) {
+	p := testPool(t, PoolConfig{Size: 50, SkillSigma: 0.05, SpammerFraction: 0.2}, 6)
+	if got := p.TopWorkers(5); len(got) != 0 {
+		t.Errorf("TopWorkers before probing = %v, want empty", got)
+	}
+	if _, err := p.Qualify(5, 0.10, DefaultDifficulty, 8, 0.0); err != nil {
+		t.Fatal(err)
+	}
+	top := p.TopWorkers(5)
+	if len(top) != 5 {
+		t.Fatalf("TopWorkers = %d ids", len(top))
+	}
+	// The top workers' probe accuracy must dominate the pool average.
+	var topAcc, poolAcc float64
+	for _, id := range top {
+		w, _ := p.Worker(id)
+		topAcc += float64(w.CorrectProbe) / float64(w.TotalProbe)
+	}
+	topAcc /= float64(len(top))
+	for id := 0; id < p.Size(); id++ {
+		w, _ := p.Worker(id)
+		poolAcc += float64(w.CorrectProbe) / float64(w.TotalProbe)
+	}
+	poolAcc /= float64(p.Size())
+	if topAcc <= poolAcc {
+		t.Errorf("top-5 accuracy %v not above pool average %v", topAcc, poolAcc)
+	}
+	// Asking for more than available truncates.
+	if got := p.TopWorkers(10_000); len(got) != p.ActiveWorkers() {
+		t.Errorf("TopWorkers(10000) = %d ids, want %d", len(got), p.ActiveWorkers())
+	}
+}

@@ -1,0 +1,302 @@
+package dp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/greedy"
+	"repro/internal/hetero"
+	"repro/internal/opq"
+)
+
+func table1() core.BinSet {
+	return core.MustBinSet([]core.TaskBin{
+		{Cardinality: 1, Confidence: 0.90, Cost: 0.10},
+		{Cardinality: 2, Confidence: 0.85, Cost: 0.18},
+		{Cardinality: 3, Confidence: 0.80, Cost: 0.24},
+	})
+}
+
+// ---------- Rod cutting (relaxed variant, Section 4.2) ----------
+
+func TestRodCuttingRelaxedOnly(t *testing.T) {
+	in := core.MustHomogeneous(table1(), 4, 0.95) // 0.95 > min confidence 0.8
+	if _, err := RodCutting(in); err == nil {
+		t.Error("RodCutting accepted a non-relaxed instance")
+	}
+}
+
+func TestRodCuttingOptimal(t *testing.T) {
+	// t = 0.75 ≤ every confidence → relaxed. Menu costs per slot:
+	// b1: 0.10, b2: 0.09, b3: 0.08 → n=6 optimally uses two b3 (0.48).
+	in := core.MustHomogeneous(table1(), 6, 0.75)
+	p, err := RodCutting(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(in); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	if got := p.MustCost(in.Bins()); math.Abs(got-0.48) > 1e-12 {
+		t.Errorf("cost = %v, want 0.48", got)
+	}
+}
+
+func TestRodCuttingRemainders(t *testing.T) {
+	// n = 4: best is b3 + b1 (0.34) — cheaper than 2×b2 (0.36).
+	in := core.MustHomogeneous(table1(), 4, 0.75)
+	p, err := RodCutting(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.MustCost(in.Bins()); math.Abs(got-0.34) > 1e-12 {
+		t.Errorf("cost = %v, want 0.34", got)
+	}
+}
+
+func TestRodCuttingZeroAndEmpty(t *testing.T) {
+	in := core.MustHomogeneous(table1(), 0, 0.75)
+	p, err := RodCutting(in)
+	if err != nil || p.NumUses() != 0 {
+		t.Errorf("empty instance: %v, %v", p, err)
+	}
+	in2 := core.MustHomogeneous(table1(), 3, 0)
+	p2, err := RodCutting(in2)
+	if err != nil || p2.NumUses() != 0 {
+		t.Errorf("zero-threshold instance: %v, %v", p2, err)
+	}
+}
+
+// TestRodCuttingMatchesBruteForce cross-checks the DP against exhaustive
+// search over use counts for small n.
+func TestRodCuttingMatchesBruteForce(t *testing.T) {
+	bins := table1()
+	for n := 1; n <= 12; n++ {
+		got, err := RodCuttingCost(bins, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteCover(bins, n)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("n=%d: DP cost %v, brute force %v", n, got, want)
+		}
+	}
+}
+
+// bruteCover exhaustively minimizes cost of covering n slots.
+func bruteCover(bins core.BinSet, n int) float64 {
+	best := math.Inf(1)
+	menu := bins.Bins()
+	var rec func(left int, cost float64)
+	rec = func(left int, cost float64) {
+		if cost >= best {
+			return
+		}
+		if left <= 0 {
+			best = cost
+			return
+		}
+		for _, b := range menu {
+			rec(left-b.Cardinality, cost+b.Cost)
+		}
+	}
+	rec(n, 0)
+	return best
+}
+
+func TestRodCuttingCostEdge(t *testing.T) {
+	if _, err := RodCuttingCost(core.BinSet{}, 5); err == nil {
+		t.Error("empty menu accepted")
+	}
+	c, err := RodCuttingCost(table1(), 0)
+	if err != nil || c != 0 {
+		t.Errorf("RodCuttingCost(0) = %v, %v", c, err)
+	}
+}
+
+// ---------- UKP and the Theorem-1 reduction ----------
+
+func TestSolveUKPKnown(t *testing.T) {
+	items := []UKPItem{{Weight: 3, Value: 4}, {Weight: 5, Value: 7}, {Weight: 8, Value: 12}}
+	v, counts, err := SolveUKP(items, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 24 { // two of item 3 (8+8=16 weight, 24 value)
+		t.Errorf("value = %d, want 24", v)
+	}
+	totalW, totalV := 0, 0
+	for i, k := range counts {
+		totalW += k * items[i].Weight
+		totalV += k * items[i].Value
+	}
+	if totalW > 16 || totalV != v {
+		t.Errorf("reconstruction inconsistent: weight %d value %d", totalW, totalV)
+	}
+}
+
+func TestSolveUKPRejectsBadItems(t *testing.T) {
+	if _, _, err := SolveUKP([]UKPItem{{Weight: 0, Value: 1}}, 5); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, _, err := SolveUKP([]UKPItem{{Weight: 1, Value: 0}}, 5); err == nil {
+		t.Error("zero value accepted")
+	}
+	if _, _, err := SolveUKP([]UKPItem{{Weight: 1, Value: 1}}, -1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestUKPDecision(t *testing.T) {
+	items := []UKPItem{{Weight: 2, Value: 3}}
+	yes, err := UKPDecision(items, 6, 9)
+	if err != nil || !yes {
+		t.Errorf("decision (6,9) = %v, %v; want yes", yes, err)
+	}
+	no, err := UKPDecision(items, 6, 10)
+	if err != nil || no {
+		t.Errorf("decision (6,10) = %v, %v; want no", no, err)
+	}
+}
+
+// TestTheorem1Reduction replays the NP-hardness reduction: a UKP decision
+// instance is a yes-instance iff the reduced SLADE instance admits a plan of
+// cost ≤ W. The optimal SLADE cost for the single reduced task equals the
+// minimum weight achieving value ≥ V.
+func TestTheorem1Reduction(t *testing.T) {
+	items := []UKPItem{{Weight: 3, Value: 4}, {Weight: 5, Value: 7}}
+	const V = 11
+	in, err := ReduceUKPToSLADE(items, V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N() != 1 {
+		t.Fatalf("reduced instance has %d tasks, want 1", in.N())
+	}
+	// Check bin parameters: c_i = w_i, r_i = 1 - e^{-v_i}.
+	for i, b := range in.Bins().Bins() {
+		if b.Cost != float64(items[i].Weight) {
+			t.Errorf("bin %d cost = %v, want %v", i, b.Cost, items[i].Weight)
+		}
+		wantConf := 1 - math.Exp(-float64(items[i].Value))
+		if math.Abs(b.Confidence-wantConf) > 1e-9 {
+			t.Errorf("bin %d confidence = %v, want %v", i, b.Confidence, wantConf)
+		}
+	}
+	// Exact minimal SLADE cost via exact search.
+	got, err := SolveExactCost(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minimum weight with Σ v ≥ 11: items (4,7) → one of each: w=8 v=11. ✔
+	if math.Abs(got-8) > 1e-6 {
+		t.Errorf("optimal SLADE cost = %v, want 8", got)
+	}
+	// Decision equivalence at several budgets.
+	for _, budget := range []int{7, 8, 12} {
+		yes, err := UKPDecision(items, budget, V)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sladeYes := got <= float64(budget)+1e-9; yes != sladeYes {
+			t.Errorf("budget %d: UKP=%v SLADE=%v", budget, yes, sladeYes)
+		}
+	}
+}
+
+// ---------- Exact solver ----------
+
+func TestExample4Optimal(t *testing.T) {
+	// Example 4 claims P2 (cost 0.66) is optimal for 4 tasks at t = 0.95.
+	in := core.MustHomogeneous(table1(), 4, 0.95)
+	got, err := SolveExactCost(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.66) > 1e-9 {
+		t.Errorf("exact optimal = %v, want 0.66", got)
+	}
+}
+
+func TestExactRejectsLarge(t *testing.T) {
+	in := core.MustHomogeneous(table1(), 50, 0.9)
+	if _, err := SolveExactCost(in); err == nil {
+		t.Error("exact solver accepted a large instance")
+	}
+}
+
+func TestExactZeroTasks(t *testing.T) {
+	in := core.MustHomogeneous(table1(), 0, 0.9)
+	c, err := SolveExactCost(in)
+	if err != nil || c != 0 {
+		t.Errorf("SolveExactCost(empty) = %v, %v", c, err)
+	}
+}
+
+// TestCorollary1AgainstExact verifies that at n = OPQ1.LCM the OPQ-Based
+// plan cost equals the exact optimum (Lemma 3 / Corollary 1).
+func TestCorollary1AgainstExact(t *testing.T) {
+	q, err := opq.Build(table1(), 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int(q.Elems[0].LCM) // 3
+	in := core.MustHomogeneous(table1(), n, 0.95)
+	opqCost, err := opq.PlanCost(q, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := SolveExactCost(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opqCost-exact) > 1e-9 {
+		t.Errorf("OPQ cost %v ≠ exact optimum %v at n = LCM", opqCost, exact)
+	}
+}
+
+// TestApproximationsNeverBeatExact is the fundamental sanity property: on
+// random tiny instances every approximation algorithm costs at least the
+// exact optimum, and the exact optimum is feasible to reach.
+func TestApproximationsNeverBeatExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		bins := smallMenu(rng)
+		n := 1 + rng.Intn(5)
+		tt := 0.8 + 0.19*rng.Float64()
+		in := core.MustHomogeneous(bins, n, tt)
+		exact, err := SolveExactCost(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		pg, err := greedy.Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cg := pg.MustCost(bins); cg < exact-1e-9 {
+			t.Errorf("trial %d: greedy %v beats exact %v", trial, cg, exact)
+		}
+		ph, err := hetero.Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch := ph.MustCost(bins); ch < exact-1e-9 {
+			t.Errorf("trial %d: OPQ-Extended %v beats exact %v", trial, ch, exact)
+		}
+	}
+}
+
+func smallMenu(rng *rand.Rand) core.BinSet {
+	m := 1 + rng.Intn(3)
+	bins := make([]core.TaskBin, 0, m)
+	conf := 0.88 + 0.1*rng.Float64()
+	cost := 0.1
+	for l := 1; l <= m; l++ {
+		bins = append(bins, core.TaskBin{Cardinality: l, Confidence: conf, Cost: cost})
+		conf -= 0.05
+		cost += 0.07
+	}
+	return core.MustBinSet(bins)
+}

@@ -1,0 +1,171 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/greedy"
+)
+
+// ExactLimits bounds the instance sizes SolveExactCost accepts. The solver
+// is exponential (the SLADE problem is NP-hard, Theorem 1); it exists to
+// anchor approximation-quality tests on tiny instances.
+const (
+	maxExactTasks = 8
+	maxExactBins  = 4
+)
+
+// SolveExactCost returns the cost of an optimal decomposition plan by
+// branch-and-bound over bin-use count vectors {τ_l}, checking exact
+// assignability of each candidate vector. Only tiny instances are accepted.
+func SolveExactCost(in *core.Instance) (float64, error) {
+	n := in.N()
+	if n == 0 {
+		return 0, nil
+	}
+	if n > maxExactTasks || in.Bins().Len() > maxExactBins {
+		return 0, fmt.Errorf("dp: instance too large for exact search (n=%d, m=%d)", n, in.Bins().Len())
+	}
+	bins := in.Bins().Bins()
+	m := len(bins)
+	weights := make([]float64, m)
+	for i, b := range bins {
+		weights[i] = b.Weight()
+	}
+
+	demands := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if th := in.Theta(i); th > 0 {
+			demands = append(demands, th)
+		}
+	}
+	if len(demands) == 0 {
+		return 0, nil
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(demands)))
+	totalDemand := 0.0
+	for _, d := range demands {
+		totalDemand += d
+	}
+
+	// Upper bound from the greedy heuristic seeds the pruning.
+	gp, err := greedy.Solve(in)
+	if err != nil {
+		return 0, err
+	}
+	best := gp.MustCost(in.Bins())
+
+	e := &exactSearch{
+		bins:    bins,
+		weights: weights,
+		demands: demands,
+		total:   totalDemand,
+		best:    best,
+	}
+	counts := make([]int, m)
+	e.branch(0, 0, counts)
+	return e.best, nil
+}
+
+// exactSearch carries the branch-and-bound state.
+type exactSearch struct {
+	bins    []core.TaskBin
+	weights []float64
+	demands []float64 // descending
+	total   float64
+	best    float64
+}
+
+// branch enumerates τ_bi counts for bins bi.. with accumulated cost.
+func (e *exactSearch) branch(bi int, cost float64, counts []int) {
+	if cost >= e.best-1e-12 {
+		return
+	}
+	if bi == len(e.bins) {
+		if e.assignable(counts) {
+			e.best = cost
+		}
+		return
+	}
+	maxUses := int(math.Floor((e.best - cost) / e.bins[bi].Cost))
+	// No point exceeding what full per-task coverage could ever need.
+	perTask := int(math.Ceil(e.demands[0]/e.weights[bi])) * len(e.demands)
+	if maxUses > perTask {
+		maxUses = perTask
+	}
+	for k := 0; k <= maxUses; k++ {
+		counts[bi] = k
+		e.branch(bi+1, cost+float64(k)*e.bins[bi].Cost, counts)
+	}
+	counts[bi] = 0
+}
+
+// assignable decides whether the bin-use vector counts can cover every
+// demand: each use of bin l offers l slots, a task may occupy at most one
+// slot per use, and a task's occupied slots must carry mass ≥ its demand.
+func (e *exactSearch) assignable(counts []int) bool {
+	// Necessary aggregate check before the exponential part.
+	mass := 0.0
+	perTaskMax := 0.0
+	for i, k := range counts {
+		card := e.bins[i].Cardinality
+		if card > len(e.demands) {
+			card = len(e.demands)
+		}
+		mass += float64(k*card) * e.weights[i]
+		perTaskMax += float64(k) * e.weights[i]
+	}
+	if mass < e.total-1e-9 || perTaskMax < e.demands[0]-1e-9 {
+		return false
+	}
+	caps := make([]int, len(counts))
+	for i, k := range counts {
+		card := e.bins[i].Cardinality
+		if card > len(e.demands) {
+			card = len(e.demands)
+		}
+		caps[i] = k * card
+	}
+	return e.assignTask(0, counts, caps)
+}
+
+// assignTask recursively chooses, for each task, how many uses of each bin
+// serve it (bounded by the use count and the remaining slot capacity).
+func (e *exactSearch) assignTask(ti int, counts, caps []int) bool {
+	if ti == len(e.demands) {
+		return true
+	}
+	choice := make([]int, len(counts))
+	return e.chooseBins(ti, 0, e.demands[ti], counts, caps, choice)
+}
+
+// chooseBins enumerates minimal per-bin usage vectors for task ti.
+func (e *exactSearch) chooseBins(ti, bi int, need float64, counts, caps []int, choice []int) bool {
+	if need <= 1e-9 {
+		return e.assignTask(ti+1, counts, caps)
+	}
+	if bi == len(counts) {
+		return false
+	}
+	maxK := counts[bi]
+	if caps[bi] < maxK {
+		maxK = caps[bi]
+	}
+	if lim := int(math.Ceil(need / e.weights[bi])); maxK > lim {
+		maxK = lim
+	}
+	// Try the largest helpings first: finds feasible assignments fastest.
+	for k := maxK; k >= 0; k-- {
+		caps[bi] -= k
+		choice[bi] = k
+		if e.chooseBins(ti, bi+1, need-float64(k)*e.weights[bi], counts, caps, choice) {
+			caps[bi] += k
+			return true
+		}
+		caps[bi] += k
+		choice[bi] = 0
+	}
+	return false
+}

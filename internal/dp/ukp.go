@@ -1,0 +1,108 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// UKPItem is one item of an Unbounded Knapsack instance: it may be used any
+// number of times.
+type UKPItem struct {
+	// Weight is the item's weight (positive integer).
+	Weight int
+	// Value is the item's value (positive integer).
+	Value int
+}
+
+// SolveUKP solves the Unbounded Knapsack Problem exactly: maximize total
+// value subject to total weight ≤ capacity, items reusable. It returns the
+// optimal value and the multiplicity of each item in one optimal solution.
+// Classic O(capacity × items) dynamic program.
+func SolveUKP(items []UKPItem, capacity int) (int, []int, error) {
+	for i, it := range items {
+		if it.Weight <= 0 || it.Value <= 0 {
+			return 0, nil, fmt.Errorf("dp: item %d has non-positive weight or value", i)
+		}
+	}
+	if capacity < 0 {
+		return 0, nil, fmt.Errorf("dp: negative capacity %d", capacity)
+	}
+	best := make([]int, capacity+1)
+	pick := make([]int, capacity+1)
+	for w := range pick {
+		pick[w] = -1
+	}
+	for w := 1; w <= capacity; w++ {
+		best[w] = best[w-1]
+		pick[w] = pick[w-1]
+		for i, it := range items {
+			if it.Weight <= w {
+				if v := best[w-it.Weight] + it.Value; v > best[w] {
+					best[w] = v
+					pick[w] = i
+				}
+			}
+		}
+	}
+	counts := make([]int, len(items))
+	w := capacity
+	for w > 0 && pick[w] >= 0 {
+		// pick[w] == pick[w-1] with same value means no item ends here;
+		// walk left until an item boundary.
+		if best[w] == best[w-1] {
+			w--
+			continue
+		}
+		i := pick[w]
+		counts[i]++
+		w -= items[i].Weight
+	}
+	return best[capacity], counts, nil
+}
+
+// UKPDecision answers the decision version used in Theorem 1: does a
+// multiset of items exist with total weight ≤ maxWeight and total value
+// ≥ minValue?
+func UKPDecision(items []UKPItem, maxWeight, minValue int) (bool, error) {
+	v, _, err := SolveUKP(items, maxWeight)
+	if err != nil {
+		return false, err
+	}
+	return v >= minValue, nil
+}
+
+// ReduceUKPToSLADE builds the SLADE instance of the Theorem-1 reduction from
+// a UKP instance: one task bin per item with cost c_i = w_i and confidence
+// r_i = 1 - e^{-v_i}, and a single atomic task with threshold
+// t = 1 - e^{-V}. A decomposition plan of cost ≤ W exists iff the UKP
+// decision (W, V) is a yes-instance.
+func ReduceUKPToSLADE(items []UKPItem, minValue int) (*core.Instance, error) {
+	bins := make([]core.TaskBin, len(items))
+	for i, it := range items {
+		bins[i] = core.TaskBin{
+			Cardinality: i + 1, // distinct cardinalities keep the menu well-formed
+			Confidence:  1 - expNeg(float64(it.Value)),
+			Cost:        float64(it.Weight),
+		}
+	}
+	bs, err := core.NewBinSet(bins)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewHeterogeneous(bs, []float64{1 - expNeg(float64(minValue))})
+}
+
+// expNeg returns e^{-x} clamped to keep derived confidences strictly inside
+// (0,1) for the instance validators.
+func expNeg(x float64) float64 {
+	v := math.Exp(-x)
+	if v <= 0 {
+		v = 1e-15
+	}
+	if v >= 1 {
+		v = 1 - 1e-15
+	}
+	return v
+}

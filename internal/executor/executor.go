@@ -1,0 +1,211 @@
+// Package executor runs decomposition plans against a crowd marketplace and
+// closes the control loop the SLADE paper leaves to the platform: bins that
+// miss the response deadline are re-issued (at a configurable retry budget),
+// and if the delivered reliability of the positive-labelled probe subset
+// falls short of the target, an adaptive top-up round decomposes the
+// still-uncovered demand and executes it too.
+//
+// This is the component a production deployment would sit on top of: the
+// paper's algorithms produce a *plan*; the executor turns the plan into
+// answers with measurable reliability and an itemized spend.
+package executor
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crowdsim"
+	"repro/internal/greedy"
+)
+
+// Options configures an execution.
+type Options struct {
+	// MaxRetries re-issues an overtime bin up to this many times before
+	// giving up on it (default 2).
+	MaxRetries int
+	// Difficulty is the task difficulty level presented to workers
+	// (default crowdsim.DefaultDifficulty).
+	Difficulty int
+	// TopUp enables adaptive top-up rounds: after the main execution, the
+	// transformed reliability actually *delivered* per task (counting
+	// only bins that completed in time) is compared against the demand,
+	// and the uncovered remainder is re-decomposed with Greedy and
+	// executed, up to MaxTopUps rounds.
+	TopUp bool
+	// MaxTopUps bounds the number of top-up rounds (default 2).
+	MaxTopUps int
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	}
+	if o.Difficulty == 0 {
+		o.Difficulty = crowdsim.DefaultDifficulty
+	}
+	if o.MaxTopUps == 0 {
+		o.MaxTopUps = 2
+	}
+	return o
+}
+
+// Report is the outcome of an execution.
+type Report struct {
+	// Spent is the total incentive cost paid, including retries and
+	// top-up rounds.
+	Spent float64
+	// PlannedCost is the cost of the input plan alone.
+	PlannedCost float64
+	// BinsIssued counts every bin handed to a worker (including retries).
+	BinsIssued int
+	// OvertimeBins counts issues that missed the deadline.
+	OvertimeBins int
+	// AbandonedBins counts bins that stayed overtime after MaxRetries.
+	AbandonedBins int
+	// TopUpRounds counts adaptive rounds executed.
+	TopUpRounds int
+	// Detected marks, per task, whether any in-time worker answered "yes"
+	// for it (meaningful for ground-truth-positive tasks).
+	Detected []bool
+	// EmpiricalReliability is the detected fraction of ground-truth
+	// positives.
+	EmpiricalReliability float64
+	// DeliveredMass is the per-task transformed reliability delivered by
+	// in-time bins.
+	DeliveredMass []float64
+	// MakeSpan is the longest single-bin duration observed.
+	MakeSpan time.Duration
+}
+
+// Execute runs the plan for the instance on the platform. truth carries the
+// ground-truth label per task (used to measure empirical reliability, as
+// the paper's testing bins do).
+func Execute(pl *crowdsim.Platform, in *core.Instance, plan *core.Plan, truth []bool, opts Options) (*Report, error) {
+	o := opts.withDefaults()
+	if len(truth) != in.N() {
+		return nil, fmt.Errorf("executor: truth has %d entries for %d tasks", len(truth), in.N())
+	}
+	rep := &Report{
+		Detected:      make([]bool, in.N()),
+		DeliveredMass: make([]float64, in.N()),
+	}
+	var err error
+	rep.PlannedCost, err = plan.Cost(in.Bins())
+	if err != nil {
+		return nil, err
+	}
+
+	if err := runUses(pl, in, plan.Uses, truth, o, rep); err != nil {
+		return nil, err
+	}
+
+	for round := 0; o.TopUp && round < o.MaxTopUps; round++ {
+		fix, err := topUpPlan(in, rep.DeliveredMass)
+		if err != nil {
+			return nil, err
+		}
+		if fix == nil {
+			break
+		}
+		rep.TopUpRounds++
+		if err := runUses(pl, in, fix.Uses, truth, o, rep); err != nil {
+			return nil, err
+		}
+	}
+
+	positives, detected := 0, 0
+	for i, tv := range truth {
+		if tv {
+			positives++
+			if rep.Detected[i] {
+				detected++
+			}
+		}
+	}
+	if positives > 0 {
+		rep.EmpiricalReliability = float64(detected) / float64(positives)
+	} else {
+		rep.EmpiricalReliability = 1
+	}
+	return rep, nil
+}
+
+// runUses issues each bin use (with retries on overtime) and accumulates
+// detections, delivered mass and spend into the report.
+func runUses(pl *crowdsim.Platform, in *core.Instance, uses []core.BinUse, truth []bool, o Options, rep *Report) error {
+	for _, u := range uses {
+		bin, ok := in.Bins().ByCardinality(u.Cardinality)
+		if !ok {
+			return fmt.Errorf("executor: unknown bin cardinality %d", u.Cardinality)
+		}
+		binTruth := make([]bool, len(u.Tasks))
+		for i, t := range u.Tasks {
+			if t < 0 || t >= in.N() {
+				return fmt.Errorf("executor: task %d out of range", t)
+			}
+			binTruth[i] = truth[t]
+		}
+		completed := false
+		for attempt := 0; attempt <= o.MaxRetries; attempt++ {
+			rep.BinsIssued++
+			rep.Spent += bin.Cost
+			out := pl.RunBin(bin.Cardinality, bin.Cost, o.Difficulty, binTruth)
+			if out.Duration > rep.MakeSpan {
+				rep.MakeSpan = out.Duration
+			}
+			if out.Overtime {
+				rep.OvertimeBins++
+				continue
+			}
+			completed = true
+			w := bin.Weight()
+			for i, t := range u.Tasks {
+				rep.DeliveredMass[t] += w
+				if out.Answers[i] {
+					rep.Detected[t] = true
+				}
+			}
+			break
+		}
+		if !completed {
+			rep.AbandonedBins++
+		}
+	}
+	return nil
+}
+
+// topUpPlan builds a greedy plan covering the gap between each task's
+// demand and the mass actually delivered; it returns nil when every task is
+// already covered.
+func topUpPlan(in *core.Instance, delivered []float64) (*core.Plan, error) {
+	var ids []int
+	var residual []float64
+	for i := 0; i < in.N(); i++ {
+		if gap := in.Theta(i) - delivered[i]; gap > core.RelTol {
+			ids = append(ids, i)
+			residual = append(residual, core.ThresholdFromTheta(gap))
+		}
+	}
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	sub, err := core.NewHeterogeneous(in.Bins(), residual)
+	if err != nil {
+		return nil, err
+	}
+	fix, err := greedy.Solve(sub)
+	if err != nil {
+		return nil, err
+	}
+	out := &core.Plan{}
+	for _, u := range fix.Uses {
+		mapped := core.BinUse{Cardinality: u.Cardinality}
+		for _, t := range u.Tasks {
+			mapped.Tasks = append(mapped.Tasks, ids[t])
+		}
+		out.Uses = append(out.Uses, mapped)
+	}
+	return out, nil
+}

@@ -1,0 +1,186 @@
+package executor
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/binset"
+	"repro/internal/core"
+	"repro/internal/crowdsim"
+	"repro/internal/hetero"
+	"repro/internal/opq"
+)
+
+func jellyEnv(t *testing.T, n int, threshold float64, seed int64) (*crowdsim.Platform, *core.Instance, *core.Plan, []bool) {
+	t.Helper()
+	pl := crowdsim.New(crowdsim.Jelly(), seed)
+	menu := binset.MustJelly(20)
+	in, err := core.NewHomogeneous(menu, n, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := (opq.Solver{}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	truth := make([]bool, n)
+	for i := range truth {
+		truth[i] = rng.Float64() < 0.3
+	}
+	return pl, in, plan, truth
+}
+
+func TestExecuteBasic(t *testing.T) {
+	pl, in, plan, truth := jellyEnv(t, 2000, 0.95, 7)
+	rep, err := Execute(pl, in, plan, truth, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BinsIssued < plan.NumUses() {
+		t.Errorf("issued %d bins for a %d-use plan", rep.BinsIssued, plan.NumUses())
+	}
+	if rep.Spent < rep.PlannedCost-1e-9 {
+		t.Errorf("spent %v below planned %v", rep.Spent, rep.PlannedCost)
+	}
+	// The menu keeps every bin within the deadline in expectation; with
+	// retries the delivered reliability should be close to the target.
+	if rep.EmpiricalReliability < 0.93 {
+		t.Errorf("empirical reliability %v far below target 0.95", rep.EmpiricalReliability)
+	}
+}
+
+func TestExecuteRejectsBadInput(t *testing.T) {
+	pl, in, plan, _ := jellyEnv(t, 10, 0.9, 1)
+	if _, err := Execute(pl, in, plan, []bool{true}, Options{}); err == nil {
+		t.Error("mismatched truth length accepted")
+	}
+	bad := &core.Plan{Uses: []core.BinUse{{Cardinality: 99, Tasks: []int{0}}}}
+	truth := make([]bool, in.N())
+	if _, err := Execute(pl, in, bad, truth, Options{}); err == nil {
+		t.Error("unknown cardinality accepted")
+	}
+	oob := &core.Plan{Uses: []core.BinUse{{Cardinality: 1, Tasks: []int{55}}}}
+	if _, err := Execute(pl, in, oob, truth, Options{}); err == nil {
+		t.Error("out-of-range task accepted")
+	}
+}
+
+func TestExecuteRetriesOvertime(t *testing.T) {
+	// A menu priced exactly at the deadline boundary: the lognormal time
+	// jitter makes a sizable fraction of bins overtime, forcing retries.
+	pl := crowdsim.New(crowdsim.Jelly(), 3)
+	price := pl.MinInTimePay(20) // expected duration ≈ deadline → ~50% overtime
+	menu := core.MustBinSet([]core.TaskBin{{
+		Cardinality: 20,
+		Confidence:  pl.TrueConfidence(20, price, crowdsim.DefaultDifficulty),
+		Cost:        price,
+	}})
+	in, err := core.NewHomogeneous(menu, 200, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := (opq.Solver{}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make([]bool, 200)
+	rep, err := Execute(pl, in, plan, truth, Options{MaxRetries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OvertimeBins == 0 {
+		t.Error("expected overtime bins at the deadline boundary")
+	}
+	if rep.BinsIssued <= plan.NumUses() {
+		t.Error("expected retries to issue extra bins")
+	}
+	if rep.Spent <= rep.PlannedCost {
+		t.Error("retries must cost money")
+	}
+}
+
+func TestExecuteTopUpImprovesCoverage(t *testing.T) {
+	// Remove half the plan so delivered mass is short, then let top-up
+	// repair it.
+	pl, in, plan, truth := jellyEnv(t, 1000, 0.95, 11)
+	half := &core.Plan{Uses: plan.Uses[:len(plan.Uses)/2]}
+	rep, err := Execute(pl, in, half, truth, Options{TopUp: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TopUpRounds == 0 {
+		t.Fatal("expected at least one top-up round")
+	}
+	// After top-up every task's delivered mass must meet its demand
+	// (modulo bins abandoned after retries, which this menu avoids).
+	if rep.AbandonedBins == 0 {
+		for i, m := range rep.DeliveredMass {
+			if m < in.Theta(i)-core.RelTol {
+				t.Fatalf("task %d under-covered after top-up: %v < %v", i, m, in.Theta(i))
+			}
+		}
+	}
+}
+
+func TestExecuteNoTopUpLeavesGap(t *testing.T) {
+	pl, in, plan, truth := jellyEnv(t, 1000, 0.95, 11)
+	half := &core.Plan{Uses: plan.Uses[:len(plan.Uses)/2]}
+	rep, err := Execute(pl, in, half, truth, Options{TopUp: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TopUpRounds != 0 {
+		t.Error("top-up ran despite being disabled")
+	}
+	short := 0
+	for i, m := range rep.DeliveredMass {
+		if m < in.Theta(i)-core.RelTol {
+			short++
+		}
+	}
+	if short == 0 {
+		t.Error("expected under-covered tasks without top-up")
+	}
+}
+
+func TestExecuteHeterogeneousPlan(t *testing.T) {
+	pl := crowdsim.New(crowdsim.SMIC(), 5)
+	menu := binset.MustSMIC(15)
+	th := make([]float64, 500)
+	rng := rand.New(rand.NewSource(5))
+	for i := range th {
+		th[i] = 0.8 + 0.15*rng.Float64()
+	}
+	in, err := core.NewHeterogeneous(menu, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := hetero.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make([]bool, 500)
+	for i := range truth {
+		truth[i] = i%3 == 0
+	}
+	rep, err := Execute(pl, in, plan, truth, Options{TopUp: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EmpiricalReliability < 0.75 {
+		t.Errorf("reliability %v unreasonably low", rep.EmpiricalReliability)
+	}
+}
+
+func TestExecuteNoPositives(t *testing.T) {
+	pl, in, plan, _ := jellyEnv(t, 50, 0.9, 2)
+	truth := make([]bool, 50) // all negative
+	rep, err := Execute(pl, in, plan, truth, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EmpiricalReliability != 1 {
+		t.Errorf("no-positive reliability = %v, want 1", rep.EmpiricalReliability)
+	}
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import "testing"
+
+func TestDistributionStudy(t *testing.T) {
+	cost, tim, err := DistributionStudy(2_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cost.Series) != 3 || len(tim.Series) != 3 {
+		t.Fatalf("series = %d/%d, want 3 each", len(cost.Series), len(tim.Series))
+	}
+	for _, s := range cost.Series {
+		if len(s.Points) != 3 {
+			t.Fatalf("%s has %d points, want 3 distributions", s.Label, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Errorf("%s: non-positive cost %v at dist %v", s.Label, p.Y, p.X)
+			}
+		}
+	}
+	// The paper's omitted-experiment claim: results are similar across
+	// distributions. Check per-algorithm spread stays within a factor 2.
+	for _, s := range cost.Series {
+		lo, hi := s.Points[0].Y, s.Points[0].Y
+		for _, p := range s.Points {
+			if p.Y < lo {
+				lo = p.Y
+			}
+			if p.Y > hi {
+				hi = p.Y
+			}
+		}
+		if hi > 2*lo {
+			t.Errorf("%s: cost varies %v..%v across distributions (>2×)", s.Label, lo, hi)
+		}
+	}
+}
+
+func TestThresholdDistributionString(t *testing.T) {
+	if NormalDist.String() != "Normal" || UniformDist.String() != "Uniform" ||
+		HeavyTailedDist.String() != "HeavyTailed" {
+		t.Error("distribution names broken")
+	}
+}

@@ -1,0 +1,220 @@
+// Package experiments is the benchmark harness that regenerates every
+// figure of the SLADE paper's evaluation (Section 7) and the motivation
+// experiments (Section 2, Figure 3). Each FigXX function returns Figure
+// values whose series carry the same x-axis sweeps and algorithm line-up as
+// the paper: Greedy, OPQ-Based (OPQ-Extended in heterogeneous scenarios)
+// and the CIP Baseline, over the Jelly and SMIC datasets.
+//
+// Defaults match Section 7: maximum cardinality |B| = 20, n = 10,000 atomic
+// tasks, homogeneous threshold t = 0.9, heterogeneous thresholds from
+// Normal(µ = 0.9, σ = 0.03).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/binset"
+	"repro/internal/core"
+	"repro/internal/crowdsim"
+	"repro/internal/greedy"
+	"repro/internal/hetero"
+	"repro/internal/opq"
+)
+
+// Dataset selects the task-type model a figure runs on.
+type Dataset int
+
+const (
+	// Jelly is the Jelly-Beans-in-a-Jar dataset (Example 2).
+	Jelly Dataset = iota
+	// SMIC is the Micro-Expressions Identification dataset (Example 3).
+	SMIC
+)
+
+// String names the dataset as the paper labels it.
+func (d Dataset) String() string {
+	if d == SMIC {
+		return "SMIC"
+	}
+	return "Jelly"
+}
+
+// menu returns the dataset's bin menu truncated to maxCard.
+func (d Dataset) menu(maxCard int) (core.BinSet, error) {
+	if d == SMIC {
+		return binset.SMIC(maxCard)
+	}
+	return binset.Jelly(maxCard)
+}
+
+// platform returns the dataset's simulated crowd market.
+func (d Dataset) platform(seed int64) *crowdsim.Platform {
+	if d == SMIC {
+		return crowdsim.New(crowdsim.SMIC(), seed)
+	}
+	return crowdsim.New(crowdsim.Jelly(), seed)
+}
+
+// Defaults of the evaluation (Section 7).
+const (
+	// DefaultN is the default number of atomic tasks.
+	DefaultN = 10_000
+	// DefaultMaxCard is the default maximum bin cardinality |B|.
+	DefaultMaxCard = 20
+	// DefaultT is the default homogeneous reliability threshold.
+	DefaultT = 0.9
+	// DefaultMu and DefaultSigma parameterize the default heterogeneous
+	// Normal threshold distribution.
+	DefaultMu    = 0.9
+	DefaultSigma = 0.03
+	// DefaultSeed seeds workload generation and the baseline's rounding.
+	DefaultSeed = 1
+)
+
+// Point is one measurement of a series.
+type Point struct {
+	// X is the swept parameter value (t, |B|, n, σ, µ, or cardinality).
+	X float64
+	// Y is the measured quantity (cost in USD, time in seconds, or
+	// confidence).
+	Y float64
+	// Overtime, used by the Figure-3 motivation series, is the fraction
+	// of probe bins that missed the platform deadline at this point.
+	Overtime float64
+}
+
+// Series is one line of a figure.
+type Series struct {
+	// Label names the line ("Greedy", "OPQ-Based", "cost=0.05", ...).
+	Label string
+	// Points are ordered by X.
+	Points []Point
+}
+
+// Figure is one reproduced table/figure: an identifier matching the paper,
+// axis labels, and one series per algorithm or configuration.
+type Figure struct {
+	// ID is the paper's figure identifier, e.g. "6a".
+	ID string
+	// Title describes the figure, e.g. "Homo(Jelly): t vs Cost".
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// Series holds the lines.
+	Series []Series
+}
+
+// Render formats the figure as an aligned text table: one row per X value,
+// one column per series — the textual equivalent of the paper's plots.
+func (f *Figure) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure %s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&sb, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, "%16s", s.Label)
+	}
+	sb.WriteString("\n")
+	if len(f.Series) == 0 {
+		return sb.String()
+	}
+	for i := range f.Series[0].Points {
+		fmt.Fprintf(&sb, "%-12.4g", f.Series[0].Points[i].X)
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				fmt.Fprintf(&sb, "%16.4f", s.Points[i].Y)
+			} else {
+				fmt.Fprintf(&sb, "%16s", "-")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// CSV renders the figure as comma-separated values with a header row.
+func (f *Figure) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(f.XLabel)
+	for _, s := range f.Series {
+		sb.WriteString(",")
+		sb.WriteString(s.Label)
+	}
+	sb.WriteString("\n")
+	if len(f.Series) == 0 {
+		return sb.String()
+	}
+	for i := range f.Series[0].Points {
+		fmt.Fprintf(&sb, "%g", f.Series[0].Points[i].X)
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				fmt.Fprintf(&sb, ",%g", s.Points[i].Y)
+			} else {
+				sb.WriteString(",")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// homoSolvers is the homogeneous-scenario line-up of Section 7.1.
+func homoSolvers() []core.Solver {
+	return []core.Solver{
+		greedy.Solver{},
+		opq.Solver{},
+		baseline.Solver{Seed: DefaultSeed},
+	}
+}
+
+// heteroSolvers is the heterogeneous-scenario line-up of Section 7.2
+// (OPQ-Based is replaced by OPQ-Extended).
+func heteroSolvers() []core.Solver {
+	return []core.Solver{
+		greedy.Solver{},
+		hetero.Solver{},
+		baseline.Solver{Seed: DefaultSeed},
+	}
+}
+
+// measure solves the instance with each solver and returns (cost, seconds)
+// points, validating every plan.
+func measure(in *core.Instance, solvers []core.Solver, x float64) (costs, times []Point, err error) {
+	costs = make([]Point, len(solvers))
+	times = make([]Point, len(solvers))
+	for i, s := range solvers {
+		start := time.Now()
+		plan, err := s.Solve(in)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", s.Name(), err)
+		}
+		elapsed := time.Since(start).Seconds()
+		if err := plan.Validate(in); err != nil {
+			return nil, nil, fmt.Errorf("%s produced an infeasible plan: %w", s.Name(), err)
+		}
+		cost, err := plan.Cost(in.Bins())
+		if err != nil {
+			return nil, nil, err
+		}
+		costs[i] = Point{X: x, Y: cost}
+		times[i] = Point{X: x, Y: elapsed}
+	}
+	return costs, times, nil
+}
+
+// appendPoints adds one point per solver to the figures' series, creating
+// the series on first use.
+func appendPoints(costFig, timeFig *Figure, solvers []core.Solver, costs, times []Point) {
+	if len(costFig.Series) == 0 {
+		for _, s := range solvers {
+			costFig.Series = append(costFig.Series, Series{Label: s.Name()})
+			timeFig.Series = append(timeFig.Series, Series{Label: s.Name()})
+		}
+	}
+	for i := range solvers {
+		costFig.Series[i].Points = append(costFig.Series[i].Points, costs[i])
+		timeFig.Series[i].Points = append(timeFig.Series[i].Points, times[i])
+	}
+}

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// The tests in this file run scaled-down versions of the paper's sweeps and
+// assert the qualitative findings of Section 7 — who wins, which direction
+// curves move — rather than absolute numbers, which depend on the testbed.
+
+// smallN temporarily shrinks the sweeps so shape tests stay fast.
+func withSmallSweeps(t *testing.T) {
+	t.Helper()
+	origN, origCard := NSweep, CardSweep
+	NSweep = []int{500, 1_000, 2_000, 4_000}
+	CardSweep = []int{1, 2, 4, 6, 10, 14, 20}
+	t.Cleanup(func() { NSweep, CardSweep = origN, origCard })
+}
+
+func seriesByLabel(f *Figure, label string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Label == label {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+func TestFig6TShapes(t *testing.T) {
+	for _, ds := range []Dataset{Jelly, SMIC} {
+		cost, tim, err := Fig6T(ds)
+		if err != nil {
+			t.Fatalf("%s: %v", ds, err)
+		}
+		for _, s := range cost.Series {
+			// Cost decreases with lower threshold ⇒ increases along our
+			// ascending sweep; allow small non-monotonic wiggle for the
+			// randomized baseline (20% slack).
+			first, last := s.Points[0].Y, s.Points[len(s.Points)-1].Y
+			if last < first*0.95 {
+				t.Errorf("%s %s: cost fell from %v to %v as t rose", ds, s.Label, first, last)
+			}
+		}
+		opqCost := seriesByLabel(&cost, "OPQ-Based")
+		greedyCost := seriesByLabel(&cost, "Greedy")
+		if opqCost == nil || greedyCost == nil {
+			t.Fatal("missing series")
+		}
+		// OPQ-Based has the smallest decomposition cost (Section 7.1
+		// conclusion); grant a 2% tolerance for block-remainder effects.
+		for i := range opqCost.Points {
+			if opqCost.Points[i].Y > greedyCost.Points[i].Y*1.02 {
+				t.Errorf("%s at t=%v: OPQ %v above Greedy %v", ds,
+					opqCost.Points[i].X, opqCost.Points[i].Y, greedyCost.Points[i].Y)
+			}
+		}
+		_ = tim // timing shapes are asserted in the scalability test
+	}
+}
+
+func TestFig6BShapes(t *testing.T) {
+	withSmallSweeps(t)
+	cost, _, err := Fig6B(Jelly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range cost.Series {
+		// More bin choices never hurt much: cost at |B|=20 must be well
+		// below cost at |B|=1 for every algorithm.
+		first, last := s.Points[0].Y, s.Points[len(s.Points)-1].Y
+		if last > first {
+			t.Errorf("%s: cost rose from %v (|B|=1) to %v (|B|=20)", s.Label, first, last)
+		}
+	}
+}
+
+func TestFig6NShapes(t *testing.T) {
+	withSmallSweeps(t)
+	cost, tim, err := Fig6N(Jelly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range cost.Series {
+		// Cost grows (roughly linearly) in n.
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Y < s.Points[i-1].Y {
+				t.Errorf("%s: cost fell between n=%v and n=%v", s.Label,
+					s.Points[i-1].X, s.Points[i].X)
+			}
+		}
+	}
+	// OPQ-Based is the fastest at the largest n (Section 7.1 conclusion).
+	opqTime := seriesByLabel(&tim, "OPQ-Based")
+	for _, s := range tim.Series {
+		if s.Label == "OPQ-Based" {
+			continue
+		}
+		lastIdx := len(s.Points) - 1
+		if opqTime.Points[lastIdx].Y > s.Points[lastIdx].Y*1.5 {
+			t.Errorf("OPQ-Based time %v not fastest vs %s %v",
+				opqTime.Points[lastIdx].Y, s.Label, s.Points[lastIdx].Y)
+		}
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	cost, _, err := Fig7Mu()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range cost.Series {
+		// Cost decreases with decreasing µ ⇒ increases along the sweep.
+		first, last := s.Points[0].Y, s.Points[len(s.Points)-1].Y
+		if last < first*0.95 {
+			t.Errorf("%s: hetero cost fell from %v to %v as µ rose", s.Label, first, last)
+		}
+	}
+}
+
+func TestFig7SigmaRuns(t *testing.T) {
+	cost, tim, err := Fig7Sigma()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cost.Series) != 3 || len(tim.Series) != 3 {
+		t.Fatalf("expected 3 series, got %d/%d", len(cost.Series), len(tim.Series))
+	}
+	for _, s := range cost.Series {
+		if len(s.Points) != len(SigmaSweep) {
+			t.Errorf("%s has %d points, want %d", s.Label, len(s.Points), len(SigmaSweep))
+		}
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Errorf("%s: non-positive cost %v at σ=%v", s.Label, p.Y, p.X)
+			}
+		}
+	}
+}
+
+func TestFig8Runs(t *testing.T) {
+	withSmallSweeps(t)
+	tim, err := Fig8(SMIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tim.Series) != 3 {
+		t.Fatalf("expected 3 series, got %d", len(tim.Series))
+	}
+	for _, s := range tim.Series {
+		if len(s.Points) != len(NSweep) {
+			t.Errorf("%s has %d points", s.Label, len(s.Points))
+		}
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	fig := Fig3(Jelly, 40, 7)
+	if len(fig.Series) != 3 {
+		t.Fatalf("expected 3 pay-tier series, got %d", len(fig.Series))
+	}
+	// Confidence broadly declines with cardinality on every tier (compare
+	// curve ends, skipping NaN overtime points).
+	for _, s := range fig.Series {
+		var first, last float64 = math.NaN(), math.NaN()
+		for _, p := range s.Points {
+			if !math.IsNaN(p.Y) {
+				if math.IsNaN(first) {
+					first = p.Y
+				}
+				last = p.Y
+			}
+		}
+		if math.IsNaN(first) {
+			t.Fatalf("%s: no in-time points at all", s.Label)
+		}
+		if last >= first {
+			t.Errorf("%s: confidence did not decline (%v → %v)", s.Label, first, last)
+		}
+	}
+	// The cheap tier must hit overtime at large cardinality while the top
+	// tier stays in time through 30 (Figure 3a's dotted/solid split).
+	cheap := seriesByLabel(&fig, "cost=0.05")
+	top := seriesByLabel(&fig, "cost=0.10")
+	if cheap.Points[len(cheap.Points)-1].Overtime < 0.5 {
+		t.Error("cheap tier should be mostly overtime at cardinality 30")
+	}
+	if top.Points[len(top.Points)-1].Overtime > 0.5 {
+		t.Error("top tier should be mostly in time at cardinality 30")
+	}
+}
+
+func TestFig3cShapes(t *testing.T) {
+	fig := Fig3c(60, 7)
+	if len(fig.Series) != 3 {
+		t.Fatalf("expected 3 difficulty series, got %d", len(fig.Series))
+	}
+	// Harder difficulty ⇒ lower mean confidence.
+	means := make([]float64, 3)
+	for i, s := range fig.Series {
+		sum, cnt := 0.0, 0
+		for _, p := range s.Points {
+			if !math.IsNaN(p.Y) {
+				sum += p.Y
+				cnt++
+			}
+		}
+		means[i] = sum / float64(cnt)
+	}
+	if !(means[0] > means[1] && means[1] > means[2]) {
+		t.Errorf("difficulty ordering broken: %v", means)
+	}
+}
+
+func TestRenderAndCSV(t *testing.T) {
+	fig := Figure{
+		ID: "t", Title: "test", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Label: "a", Points: []Point{{X: 1, Y: 2}, {X: 2, Y: 3}}},
+			{Label: "b", Points: []Point{{X: 1, Y: 4}}},
+		},
+	}
+	txt := fig.Render()
+	if !strings.Contains(txt, "Figure t") || !strings.Contains(txt, "a") {
+		t.Errorf("Render output missing content:\n%s", txt)
+	}
+	if !strings.Contains(txt, "-") {
+		t.Error("short series should render a dash placeholder")
+	}
+	csv := fig.CSV()
+	if !strings.HasPrefix(csv, "x,a,b\n1,2,4\n") {
+		t.Errorf("CSV output unexpected:\n%s", csv)
+	}
+	empty := Figure{ID: "e", XLabel: "x"}
+	if empty.Render() == "" || empty.CSV() == "" {
+		t.Error("empty figure should still render headers")
+	}
+}
+
+func TestDatasetString(t *testing.T) {
+	if Jelly.String() != "Jelly" || SMIC.String() != "SMIC" {
+		t.Error("Dataset.String broken")
+	}
+}

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/distgen"
+)
+
+// Sweeps of Section 7. The scalability sweep tops out at 100,000 tasks as
+// in Figures 6i-6l and 8.
+var (
+	// TSweep is the homogeneous threshold sweep of Figures 6a-6d.
+	TSweep = []float64{0.87, 0.90, 0.92, 0.95, 0.97}
+	// CardSweep is the max-cardinality sweep of Figures 6e-6h.
+	CardSweep = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20}
+	// NSweep is the task-count sweep of Figures 6i-6l and 8 (×10⁴ axis in
+	// the paper: 0.1 to 10).
+	NSweep = []int{1_000, 3_000, 5_000, 10_000, 15_000, 20_000, 30_000, 50_000, 75_000, 100_000}
+	// SigmaSweep is the σ sweep of Figures 7a-7b.
+	SigmaSweep = []float64{0.01, 0.02, 0.03, 0.04, 0.05}
+	// MuSweep is the µ sweep of Figures 7c-7d.
+	MuSweep = []float64{0.87, 0.90, 0.92, 0.95, 0.97}
+)
+
+// Fig6T reproduces Figures 6a/6c (Jelly) or 6b/6d (SMIC): homogeneous cost
+// and running time versus the reliability threshold t, at the default
+// n = 10,000 and |B| = 20.
+func Fig6T(ds Dataset) (cost, tim Figure, err error) {
+	ids := map[Dataset][2]string{Jelly: {"6a", "6c"}, SMIC: {"6b", "6d"}}[ds]
+	cost = Figure{ID: ids[0], Title: fmt.Sprintf("Homo(%s): t vs Cost", ds), XLabel: "t", YLabel: "Cost (USD)"}
+	tim = Figure{ID: ids[1], Title: fmt.Sprintf("Homo(%s): t vs Time", ds), XLabel: "t", YLabel: "Time (seconds)"}
+	menu, err := ds.menu(DefaultMaxCard)
+	if err != nil {
+		return cost, tim, err
+	}
+	solvers := homoSolvers()
+	for _, t := range TSweep {
+		in, err := core.NewHomogeneous(menu, DefaultN, t)
+		if err != nil {
+			return cost, tim, err
+		}
+		cs, ts, err := measure(in, solvers, t)
+		if err != nil {
+			return cost, tim, fmt.Errorf("fig %s at t=%v: %w", ids[0], t, err)
+		}
+		appendPoints(&cost, &tim, solvers, cs, ts)
+	}
+	return cost, tim, nil
+}
+
+// Fig6B reproduces Figures 6e/6g (Jelly) or 6f/6h (SMIC): homogeneous cost
+// and running time versus the maximum cardinality |B| ∈ 1..20, at t = 0.9
+// and n = 10,000.
+func Fig6B(ds Dataset) (cost, tim Figure, err error) {
+	ids := map[Dataset][2]string{Jelly: {"6e", "6g"}, SMIC: {"6f", "6h"}}[ds]
+	cost = Figure{ID: ids[0], Title: fmt.Sprintf("Homo(%s): |B| vs Cost", ds), XLabel: "maxCard", YLabel: "Cost (USD)"}
+	tim = Figure{ID: ids[1], Title: fmt.Sprintf("Homo(%s): |B| vs Time", ds), XLabel: "maxCard", YLabel: "Time (seconds)"}
+	fullMenu, err := ds.menu(DefaultMaxCard)
+	if err != nil {
+		return cost, tim, err
+	}
+	solvers := homoSolvers()
+	for _, maxCard := range CardSweep {
+		in, err := core.NewHomogeneous(fullMenu.Truncate(maxCard), DefaultN, DefaultT)
+		if err != nil {
+			return cost, tim, err
+		}
+		cs, ts, err := measure(in, solvers, float64(maxCard))
+		if err != nil {
+			return cost, tim, fmt.Errorf("fig %s at |B|=%d: %w", ids[0], maxCard, err)
+		}
+		appendPoints(&cost, &tim, solvers, cs, ts)
+	}
+	return cost, tim, nil
+}
+
+// Fig6N reproduces Figures 6i/6k (Jelly) or 6j/6l (SMIC): homogeneous cost
+// and running time versus the number of atomic tasks, 1,000 to 100,000.
+func Fig6N(ds Dataset) (cost, tim Figure, err error) {
+	ids := map[Dataset][2]string{Jelly: {"6i", "6k"}, SMIC: {"6j", "6l"}}[ds]
+	cost = Figure{ID: ids[0], Title: fmt.Sprintf("Homo(%s): n vs Cost", ds), XLabel: "n", YLabel: "Cost (USD)"}
+	tim = Figure{ID: ids[1], Title: fmt.Sprintf("Homo(%s): n vs Time", ds), XLabel: "n", YLabel: "Time (seconds)"}
+	menu, err := ds.menu(DefaultMaxCard)
+	if err != nil {
+		return cost, tim, err
+	}
+	solvers := homoSolvers()
+	for _, n := range NSweep {
+		in, err := core.NewHomogeneous(menu, n, DefaultT)
+		if err != nil {
+			return cost, tim, err
+		}
+		cs, ts, err := measure(in, solvers, float64(n))
+		if err != nil {
+			return cost, tim, fmt.Errorf("fig %s at n=%d: %w", ids[0], n, err)
+		}
+		appendPoints(&cost, &tim, solvers, cs, ts)
+	}
+	return cost, tim, nil
+}
+
+// Fig7Sigma reproduces Figures 7a/7b: heterogeneous (Jelly) cost and time
+// versus the standard deviation σ of Normal(0.9, σ) thresholds.
+func Fig7Sigma() (cost, tim Figure, err error) {
+	cost = Figure{ID: "7a", Title: "Heter(Jelly): σ of t vs Cost", XLabel: "sigma", YLabel: "Cost (USD)"}
+	tim = Figure{ID: "7b", Title: "Heter(Jelly): σ of t vs Time", XLabel: "sigma", YLabel: "Time (seconds)"}
+	menu, err := Jelly.menu(DefaultMaxCard)
+	if err != nil {
+		return cost, tim, err
+	}
+	solvers := heteroSolvers()
+	for _, sigma := range SigmaSweep {
+		th, err := distgen.Normal(DefaultN, DefaultMu, sigma, distgen.DefaultBounds, DefaultSeed)
+		if err != nil {
+			return cost, tim, err
+		}
+		in, err := core.NewHeterogeneous(menu, th)
+		if err != nil {
+			return cost, tim, err
+		}
+		cs, ts, err := measure(in, solvers, sigma)
+		if err != nil {
+			return cost, tim, fmt.Errorf("fig 7a at σ=%v: %w", sigma, err)
+		}
+		appendPoints(&cost, &tim, solvers, cs, ts)
+	}
+	return cost, tim, nil
+}
+
+// Fig7Mu reproduces Figures 7c/7d: heterogeneous (Jelly) cost and time
+// versus the mean µ of Normal(µ, 0.03) thresholds.
+func Fig7Mu() (cost, tim Figure, err error) {
+	cost = Figure{ID: "7c", Title: "Heter(Jelly): µ of t vs Cost", XLabel: "mu", YLabel: "Cost (USD)"}
+	tim = Figure{ID: "7d", Title: "Heter(Jelly): µ of t vs Time", XLabel: "mu", YLabel: "Time (seconds)"}
+	menu, err := Jelly.menu(DefaultMaxCard)
+	if err != nil {
+		return cost, tim, err
+	}
+	solvers := heteroSolvers()
+	for _, mu := range MuSweep {
+		th, err := distgen.Normal(DefaultN, mu, DefaultSigma, distgen.DefaultBounds, DefaultSeed)
+		if err != nil {
+			return cost, tim, err
+		}
+		in, err := core.NewHeterogeneous(menu, th)
+		if err != nil {
+			return cost, tim, err
+		}
+		cs, ts, err := measure(in, solvers, mu)
+		if err != nil {
+			return cost, tim, fmt.Errorf("fig 7c at µ=%v: %w", mu, err)
+		}
+		appendPoints(&cost, &tim, solvers, cs, ts)
+	}
+	return cost, tim, nil
+}
+
+// Fig8 reproduces Figure 8a (Jelly) or 8b (SMIC): heterogeneous running
+// time versus the number of atomic tasks, Normal(0.9, 0.03) thresholds.
+func Fig8(ds Dataset) (Figure, error) {
+	id := map[Dataset]string{Jelly: "8a", SMIC: "8b"}[ds]
+	tim := Figure{ID: id, Title: fmt.Sprintf("Heter(%s): n vs Time", ds), XLabel: "n", YLabel: "Time (seconds)"}
+	costScratch := Figure{} // Figure 8 reports time only; costs are discarded.
+	menu, err := ds.menu(DefaultMaxCard)
+	if err != nil {
+		return tim, err
+	}
+	solvers := heteroSolvers()
+	for _, n := range NSweep {
+		th, err := distgen.Normal(n, DefaultMu, DefaultSigma, distgen.DefaultBounds, DefaultSeed)
+		if err != nil {
+			return tim, err
+		}
+		in, err := core.NewHeterogeneous(menu, th)
+		if err != nil {
+			return tim, err
+		}
+		cs, ts, err := measure(in, solvers, float64(n))
+		if err != nil {
+			return tim, fmt.Errorf("fig %s at n=%d: %w", id, n, err)
+		}
+		appendPoints(&costScratch, &tim, solvers, cs, ts)
+	}
+	return tim, nil
+}
+
+// Fig3PayTiers returns the pay tiers of the motivation experiments per
+// dataset ($0.05/$0.08/$0.10 for Jelly, $0.05/$0.10/$0.20 for SMIC).
+func Fig3PayTiers(ds Dataset) []float64 {
+	if ds == SMIC {
+		return []float64{0.05, 0.10, 0.20}
+	}
+	return []float64{0.05, 0.08, 0.10}
+}
+
+// Fig3 reproduces Figure 3a (Jelly) or 3b (SMIC): per-task confidence
+// versus bin cardinality 2..30 at each pay tier, with the overtime rate per
+// point (the dotted-line segments of the paper). assignments probe bins are
+// issued per point (the paper used 10; larger values smooth the curve).
+func Fig3(ds Dataset, assignments int, seed int64) Figure {
+	id := map[Dataset]string{Jelly: "3a", SMIC: "3b"}[ds]
+	fig := Figure{ID: id, Title: fmt.Sprintf("%s: Cardinality vs Confidence", ds),
+		XLabel: "cardinality", YLabel: "confidence"}
+	pl := ds.platform(seed)
+	for _, pay := range Fig3PayTiers(ds) {
+		s := Series{Label: fmt.Sprintf("cost=%.2f", pay)}
+		for l := 2; l <= 30; l++ {
+			res := pl.Probe(l, pay, 2, assignments)
+			s.Points = append(s.Points, Point{X: float64(l), Y: res.MeanConfidence, Overtime: res.OvertimeRate})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Fig3c reproduces Figure 3c: Jelly confidence versus cardinality 1..20 for
+// difficulty levels 1 (50 dots), 2 (200 dots) and 3 (400 dots) at the top
+// pay tier.
+func Fig3c(assignments int, seed int64) Figure {
+	fig := Figure{ID: "3c", Title: "Jelly: difficulty levels", XLabel: "cardinality", YLabel: "confidence"}
+	pl := Jelly.platform(seed)
+	for diff := 1; diff <= 3; diff++ {
+		s := Series{Label: fmt.Sprintf("Diff. %d", diff)}
+		for l := 1; l <= 20; l++ {
+			res := pl.Probe(l, 0.10, diff, assignments)
+			s.Points = append(s.Points, Point{X: float64(l), Y: res.MeanConfidence, Overtime: res.OvertimeRate})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}

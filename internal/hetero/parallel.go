@@ -1,0 +1,77 @@
+package hetero
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/opq"
+)
+
+// SolveParallel is Solve with the per-partition Algorithm-3 runs executed
+// concurrently. Partitions of Algorithm 5 are independent — they share no
+// tasks and no queue state — so the plans compose exactly as in the serial
+// version; only the order of Uses in the merged plan differs (partition
+// order is preserved to keep output deterministic). workers ≤ 0 selects
+// GOMAXPROCS.
+func SolveParallel(in *core.Instance, workers int) (*core.Plan, error) {
+	set, err := BuildSet(in)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type result struct {
+		plan *core.Plan
+		err  error
+	}
+	results := make([]result, len(set.Partitions))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range set.Partitions {
+		part := set.Partitions[i]
+		if len(part.Tasks) == 0 {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, part Partition) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			plan, err := opq.SolveWithQueue(part.Queue, part.Tasks)
+			if err != nil {
+				err = fmt.Errorf("hetero: partition τ=%v: %w", part.Tau, err)
+			}
+			results[i] = result{plan: plan, err: err}
+		}(i, part)
+	}
+	wg.Wait()
+
+	merged := &core.Plan{}
+	for i := range results {
+		if results[i].err != nil {
+			return nil, results[i].err
+		}
+		if results[i].plan != nil {
+			merged.Merge(results[i].plan)
+		}
+	}
+	return merged, nil
+}
+
+// ParallelSolver adapts SolveParallel to the core.Solver interface.
+type ParallelSolver struct {
+	// Workers bounds concurrency; ≤ 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Name implements core.Solver.
+func (ParallelSolver) Name() string { return "OPQ-Extended-Parallel" }
+
+// Solve implements core.Solver.
+func (s ParallelSolver) Solve(in *core.Instance) (*core.Plan, error) {
+	return SolveParallel(in, s.Workers)
+}

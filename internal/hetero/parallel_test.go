@@ -1,0 +1,83 @@
+package hetero
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestParallelMatchesSerial: the concurrent solver must produce exactly the
+// serial cost and per-cardinality use counts on random instances.
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		bins := randomMenu(rng)
+		n := 1 + rng.Intn(300)
+		th := make([]float64, n)
+		for i := range th {
+			th[i] = 0.3 + 0.69*rng.Float64()
+		}
+		in := core.MustHeterogeneous(bins, th)
+		serial, err := Solve(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		parallel, err := SolveParallel(in, 4)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := parallel.Validate(in); err != nil {
+			t.Fatalf("trial %d: parallel plan infeasible: %v", trial, err)
+		}
+		cs, cp := serial.MustCost(bins), parallel.MustCost(bins)
+		if math.Abs(cs-cp) > 1e-9 {
+			t.Errorf("trial %d: serial %v vs parallel %v", trial, cs, cp)
+		}
+		sc, pc := serial.Counts(), parallel.Counts()
+		for card, v := range sc {
+			if pc[card] != v {
+				t.Errorf("trial %d: counts differ at cardinality %d: %d vs %d",
+					trial, card, v, pc[card])
+			}
+		}
+	}
+}
+
+func TestParallelWorkerDefaults(t *testing.T) {
+	in := example10()
+	p, err := SolveParallel(in, 0) // GOMAXPROCS default
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if cost := p.MustCost(in.Bins()); math.Abs(cost-0.38) > 1e-9 {
+		t.Errorf("cost = %v, want 0.38 (Example 11)", cost)
+	}
+}
+
+func TestParallelSolverInterface(t *testing.T) {
+	var s core.Solver = ParallelSolver{Workers: 2}
+	if s.Name() != "OPQ-Extended-Parallel" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	in := example10()
+	p, err := s.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelEmptyInstance(t *testing.T) {
+	in := core.MustHeterogeneous(table1(), nil)
+	p, err := SolveParallel(in, 2)
+	if err != nil || p.NumUses() != 0 {
+		t.Errorf("empty: %v, %v", p, err)
+	}
+}

@@ -1,0 +1,82 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestSingleConstraintClosedForm quick-checks the simplex against the
+// closed-form optimum of the single-constraint covering LP
+//
+//	min cᵀy  s.t.  wᵀy ≥ b, y ≥ 0   ⇒   OPT = b · min_i c_i / w_i
+//
+// which is exactly the per-group LP of the SLADE baseline.
+func TestSingleConstraintClosedForm(t *testing.T) {
+	f := func(c1, c2, c3, w1, w2, w3, braw float64) bool {
+		c := []float64{pos(c1), pos(c2), pos(c3)}
+		w := []float64{pos(w1), pos(w2), pos(w3)}
+		b := pos(braw) * 10
+		sol, err := Solve(&Problem{
+			C:      c,
+			A:      [][]float64{w},
+			B:      []float64{b},
+			Senses: []Sense{GE},
+		})
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		want := math.Inf(1)
+		for i := range c {
+			if v := b * c[i] / w[i]; v < want {
+				want = v
+			}
+		}
+		return math.Abs(sol.Objective-want) < 1e-6*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSolutionAlwaysFeasible quick-checks primal feasibility of returned
+// optima on random 2×3 covering problems.
+func TestSolutionAlwaysFeasible(t *testing.T) {
+	f := func(a11, a12, a13, a21, a22, a23, b1, b2, c1, c2, c3 float64) bool {
+		a := [][]float64{
+			{pos(a11), pos(a12), pos(a13)},
+			{pos(a21), pos(a22), pos(a23)},
+		}
+		b := []float64{pos(b1), pos(b2)}
+		c := []float64{pos(c1), pos(c2), pos(c3)}
+		sol, err := Solve(&Problem{C: c, A: a, B: b, Senses: []Sense{GE, GE}})
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		for i := range a {
+			lhs := 0.0
+			for j := range c {
+				if sol.X[j] < -1e-9 {
+					return false
+				}
+				lhs += a[i][j] * sol.X[j]
+			}
+			if lhs < b[i]-1e-6*(1+b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// pos maps an arbitrary float into a positive, well-conditioned range.
+func pos(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 1
+	}
+	x := math.Abs(v)
+	return 0.1 + math.Mod(x, 10)
+}

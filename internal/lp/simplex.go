@@ -1,0 +1,362 @@
+// Package lp provides a dense two-phase primal simplex solver for small
+// linear programs in the form
+//
+//	minimize    cᵀx
+//	subject to  a_iᵀx {≤,=,≥} b_i    for each row i
+//	            x ≥ 0
+//
+// It is the LP machinery behind the SLADE Baseline algorithm (Section 4.3 of
+// the paper), which relaxes the covering integer program obtained from the
+// SLADE reduction and then applies randomized rounding. Bland's rule is used
+// throughout, so the solver terminates on degenerate problems.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is the relational operator of one constraint row.
+type Sense int
+
+const (
+	// LE is a ≤ constraint.
+	LE Sense = iota
+	// GE is a ≥ constraint.
+	GE
+	// EQ is an equality constraint.
+	EQ
+)
+
+// String renders the sense as its operator.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return "?"
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective can decrease without bound.
+	Unbounded
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "?"
+}
+
+// Problem is a linear program over n nonnegative variables and m rows.
+type Problem struct {
+	// C is the length-n objective vector (minimized).
+	C []float64
+	// A is the m×n constraint matrix.
+	A [][]float64
+	// B is the length-m right-hand side.
+	B []float64
+	// Senses holds one Sense per row.
+	Senses []Sense
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	// Status reports whether X is optimal.
+	Status Status
+	// X is the optimal point (valid only when Status == Optimal).
+	X []float64
+	// Objective is cᵀX (valid only when Status == Optimal).
+	Objective float64
+}
+
+const (
+	eps = 1e-9
+	// iterFactor bounds simplex iterations at iterFactor·(m+n) per phase.
+	iterFactor = 2000
+)
+
+// Validate checks dimensional consistency of the problem.
+func (p *Problem) Validate() error {
+	n := len(p.C)
+	if len(p.A) != len(p.B) || len(p.A) != len(p.Senses) {
+		return fmt.Errorf("lp: inconsistent row counts A=%d B=%d senses=%d",
+			len(p.A), len(p.B), len(p.Senses))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), n)
+		}
+	}
+	return nil
+}
+
+// Solve runs the two-phase simplex method on the problem.
+func Solve(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.C)
+	m := len(p.A)
+	if m == 0 {
+		// No constraints: the optimum is x = 0 unless some cost is
+		// negative, in which case the problem is unbounded.
+		for _, c := range p.C {
+			if c < -eps {
+				return &Solution{Status: Unbounded}, nil
+			}
+		}
+		return &Solution{Status: Optimal, X: make([]float64, n)}, nil
+	}
+
+	// Normalize to b ≥ 0 by flipping rows, then add one slack/surplus per
+	// inequality and one artificial per row that lacks an obvious basic
+	// variable.
+	type rowSpec struct {
+		coeff []float64
+		rhs   float64
+		sense Sense
+	}
+	rows := make([]rowSpec, m)
+	for i := range p.A {
+		coeff := append([]float64(nil), p.A[i]...)
+		rhs := p.B[i]
+		sense := p.Senses[i]
+		if rhs < 0 {
+			for j := range coeff {
+				coeff[j] = -coeff[j]
+			}
+			rhs = -rhs
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		rows[i] = rowSpec{coeff, rhs, sense}
+	}
+
+	nSlack := 0
+	for _, r := range rows {
+		if r.sense != EQ {
+			nSlack++
+		}
+	}
+	// Artificials: GE and EQ rows need one; LE rows use their slack.
+	nArt := 0
+	for _, r := range rows {
+		if r.sense != LE {
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+	t := &tableau{
+		m:            m,
+		n:            total,
+		nOrig:        n,
+		a:            make([][]float64, m),
+		basis:        make([]int, m),
+		artThreshold: n + nSlack,
+	}
+	slackIdx, artIdx := n, n+nSlack
+	for i, r := range rows {
+		row := make([]float64, total+1)
+		copy(row, r.coeff)
+		row[total] = r.rhs
+		switch r.sense {
+		case LE:
+			row[slackIdx] = 1
+			t.basis[i] = slackIdx
+			slackIdx++
+		case GE:
+			row[slackIdx] = -1
+			slackIdx++
+			row[artIdx] = 1
+			t.basis[i] = artIdx
+			artIdx++
+		case EQ:
+			row[artIdx] = 1
+			t.basis[i] = artIdx
+			artIdx++
+		}
+		t.a[i] = row
+	}
+
+	// Phase 1: minimize the sum of artificial variables.
+	if nArt > 0 {
+		t.obj = make([]float64, total+1)
+		for j := t.artThreshold; j < total; j++ {
+			t.obj[j] = 1
+		}
+		// Price out the artificial basics.
+		for i, b := range t.basis {
+			if b >= t.artThreshold {
+				for j := 0; j <= total; j++ {
+					t.obj[j] -= t.a[i][j]
+				}
+			}
+		}
+		status, err := t.iterate(nil)
+		if err != nil {
+			return nil, err
+		}
+		if status == Unbounded {
+			return nil, fmt.Errorf("lp: phase 1 unbounded (internal error)")
+		}
+		if -t.obj[total] > 1e-7 {
+			return &Solution{Status: Infeasible}, nil
+		}
+		// Drive any artificial still in the basis out (degenerate rows).
+		for i, b := range t.basis {
+			if b < t.artThreshold {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < t.artThreshold; j++ {
+				if math.Abs(t.a[i][j]) > eps {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// The row is all-zero over real variables: redundant.
+				// Leave the artificial basic at value zero; forbidding it
+				// from re-entering keeps it harmless.
+				_ = i
+			}
+		}
+	}
+
+	// Phase 2: original objective, artificials forbidden.
+	t.obj = make([]float64, total+1)
+	copy(t.obj, p.C)
+	for i, b := range t.basis {
+		if b < n && math.Abs(p.C[b]) > 0 {
+			cb := p.C[b]
+			for j := 0; j <= total; j++ {
+				t.obj[j] -= cb * t.a[i][j]
+			}
+		}
+	}
+	status, err := t.iterate(func(j int) bool { return j >= t.artThreshold })
+	if err != nil {
+		return nil, err
+	}
+	if status == Unbounded {
+		return &Solution{Status: Unbounded}, nil
+	}
+
+	x := make([]float64, n)
+	for i, b := range t.basis {
+		if b < n {
+			x[b] = t.a[i][total]
+		}
+	}
+	objVal := 0.0
+	for j := range x {
+		objVal += p.C[j] * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Objective: objVal}, nil
+}
+
+// tableau is the dense simplex tableau: m rows over n variables plus a
+// right-hand-side column, an objective (reduced-cost) row, and the basis.
+type tableau struct {
+	m, n         int
+	nOrig        int
+	artThreshold int         // first artificial column
+	a            [][]float64 // m × (n+1)
+	obj          []float64   // n+1
+	basis        []int
+}
+
+// iterate runs Bland-rule simplex until optimality or unboundedness.
+// forbidden, if non-nil, marks columns that may not enter the basis.
+func (t *tableau) iterate(forbidden func(int) bool) (Status, error) {
+	maxIter := iterFactor * (t.m + t.n)
+	for iter := 0; ; iter++ {
+		if iter > maxIter {
+			return Optimal, fmt.Errorf("lp: iteration limit %d exceeded", maxIter)
+		}
+		// Bland: entering column = smallest index with negative reduced cost.
+		col := -1
+		for j := 0; j < t.n; j++ {
+			if forbidden != nil && forbidden(j) {
+				continue
+			}
+			if t.obj[j] < -eps {
+				col = j
+				break
+			}
+		}
+		if col < 0 {
+			return Optimal, nil
+		}
+		// Ratio test; Bland tie-break on smallest basis variable.
+		row := -1
+		best := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			if t.a[i][col] > eps {
+				ratio := t.a[i][t.n] / t.a[i][col]
+				if ratio < best-eps || (ratio < best+eps && (row < 0 || t.basis[i] < t.basis[row])) {
+					best = ratio
+					row = i
+				}
+			}
+		}
+		if row < 0 {
+			return Unbounded, nil
+		}
+		t.pivot(row, col)
+	}
+}
+
+// pivot makes column col basic in row row.
+func (t *tableau) pivot(row, col int) {
+	pv := t.a[row][col]
+	for j := 0; j <= t.n; j++ {
+		t.a[row][j] /= pv
+	}
+	t.a[row][col] = 1 // kill rounding residue
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= t.n; j++ {
+			t.a[i][j] -= f * t.a[row][j]
+		}
+		t.a[i][col] = 0
+	}
+	f := t.obj[col]
+	if f != 0 {
+		for j := 0; j <= t.n; j++ {
+			t.obj[j] -= f * t.a[row][j]
+		}
+		t.obj[col] = 0
+	}
+	t.basis[row] = col
+}

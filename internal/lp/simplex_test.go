@@ -1,0 +1,243 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", s.Status)
+	}
+	return s
+}
+
+func TestSimpleLE(t *testing.T) {
+	// max x+y s.t. x+2y ≤ 4, 3x+y ≤ 6  → min -(x+y); optimum at (1.6, 1.2), value 2.8.
+	p := &Problem{
+		C:      []float64{-1, -1},
+		A:      [][]float64{{1, 2}, {3, 1}},
+		B:      []float64{4, 6},
+		Senses: []Sense{LE, LE},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective+2.8) > 1e-7 {
+		t.Errorf("objective = %v, want -2.8", s.Objective)
+	}
+	if math.Abs(s.X[0]-1.6) > 1e-7 || math.Abs(s.X[1]-1.2) > 1e-7 {
+		t.Errorf("X = %v, want (1.6, 1.2)", s.X)
+	}
+}
+
+func TestCoveringGE(t *testing.T) {
+	// min 3x+2y s.t. x+y ≥ 4, x ≥ 1 → optimum (1, 3), value 9.
+	p := &Problem{
+		C:      []float64{3, 2},
+		A:      [][]float64{{1, 1}, {1, 0}},
+		B:      []float64{4, 1},
+		Senses: []Sense{GE, GE},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-9) > 1e-7 {
+		t.Errorf("objective = %v, want 9", s.Objective)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// min x+2y s.t. x+y = 3, x ≤ 2 → optimum (2, 1), value 4.
+	p := &Problem{
+		C:      []float64{1, 2},
+		A:      [][]float64{{1, 1}, {1, 0}},
+		B:      []float64{3, 2},
+		Senses: []Sense{EQ, LE},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-4) > 1e-7 {
+		t.Errorf("objective = %v, want 4", s.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x ≤ 1 and x ≥ 2 cannot hold.
+	p := &Problem{
+		C:      []float64{1},
+		A:      [][]float64{{1}, {1}},
+		B:      []float64{1, 2},
+		Senses: []Sense{LE, GE},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x s.t. x ≥ 1 → unbounded below.
+	p := &Problem{
+		C:      []float64{-1},
+		A:      [][]float64{{1}},
+		B:      []float64{1},
+		Senses: []Sense{GE},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// -x ≤ -2 is x ≥ 2; min x → 2.
+	p := &Problem{
+		C:      []float64{1},
+		A:      [][]float64{{-1}},
+		B:      []float64{-2},
+		Senses: []Sense{LE},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-2) > 1e-7 {
+		t.Errorf("objective = %v, want 2", s.Objective)
+	}
+}
+
+func TestNoConstraints(t *testing.T) {
+	s, err := Solve(&Problem{C: []float64{1, 2}})
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("Solve = %v, %v", s, err)
+	}
+	if s.X[0] != 0 || s.X[1] != 0 {
+		t.Errorf("X = %v, want origin", s.X)
+	}
+	s2, err := Solve(&Problem{C: []float64{-1}})
+	if err != nil || s2.Status != Unbounded {
+		t.Fatalf("negative-cost unconstrained should be unbounded, got %v, %v", s2, err)
+	}
+}
+
+func TestValidateDimensions(t *testing.T) {
+	bad := &Problem{
+		C:      []float64{1},
+		A:      [][]float64{{1, 2}},
+		B:      []float64{1},
+		Senses: []Sense{LE},
+	}
+	if _, err := Solve(bad); err == nil {
+		t.Error("Solve accepted a ragged problem")
+	}
+	bad2 := &Problem{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1, 2}, Senses: []Sense{LE}}
+	if _, err := Solve(bad2); err == nil {
+		t.Error("Solve accepted mismatched B")
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// A classic degenerate LP; Bland's rule must terminate.
+	p := &Problem{
+		C:      []float64{-0.75, 150, -0.02, 6},
+		A:      [][]float64{{0.25, -60, -0.04, 9}, {0.5, -90, -0.02, 3}, {0, 0, 1, 0}},
+		B:      []float64{0, 0, 1},
+		Senses: []Sense{LE, LE, LE},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective+0.05) > 1e-6 {
+		t.Errorf("objective = %v, want -0.05 (Beale's example)", s.Objective)
+	}
+}
+
+// TestSladeCIPReductionSmall solves the covering LP of the paper's running
+// example (one atomic task, Table-1 menu, t = 0.95):
+// min 0.1·y1 + 0.18·y2 + 0.24·y3  s.t.  w1·y1 + w2·y2 + w3·y3 ≥ θ.
+// The optimum buys only b1: θ/w1 × 0.1.
+func TestSladeCIPReductionSmall(t *testing.T) {
+	theta := -math.Log1p(-0.95)
+	w := []float64{-math.Log1p(-0.9), -math.Log1p(-0.85), -math.Log1p(-0.8)}
+	p := &Problem{
+		C:      []float64{0.1, 0.18, 0.24},
+		A:      [][]float64{w},
+		B:      []float64{theta},
+		Senses: []Sense{GE},
+	}
+	s := solveOK(t, p)
+	want := theta / w[0] * 0.1
+	if math.Abs(s.Objective-want) > 1e-7 {
+		t.Errorf("objective = %v, want %v", s.Objective, want)
+	}
+}
+
+// TestRandomFeasibility is a property test: on random covering problems the
+// returned point satisfies every constraint and no brute-force grid point
+// beats it (coarse optimality check on 2-variable problems).
+func TestRandomFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		a1 := 0.2 + rng.Float64()
+		a2 := 0.2 + rng.Float64()
+		b1 := 0.2 + rng.Float64()
+		b2 := 0.2 + rng.Float64()
+		r1 := 1 + rng.Float64()*3
+		r2 := 1 + rng.Float64()*3
+		c1 := 0.1 + rng.Float64()
+		c2 := 0.1 + rng.Float64()
+		p := &Problem{
+			C:      []float64{c1, c2},
+			A:      [][]float64{{a1, a2}, {b1, b2}},
+			B:      []float64{r1, r2},
+			Senses: []Sense{GE, GE},
+		}
+		s := solveOK(t, p)
+		if a1*s.X[0]+a2*s.X[1] < r1-1e-6 || b1*s.X[0]+b2*s.X[1] < r2-1e-6 {
+			t.Fatalf("trial %d: solution %v violates constraints", trial, s.X)
+		}
+		// Coarse grid search for anything cheaper.
+		for x := 0.0; x <= 25; x += 0.5 {
+			for y := 0.0; y <= 25; y += 0.5 {
+				if a1*x+a2*y >= r1 && b1*x+b2*y >= r2 {
+					if c1*x+c2*y < s.Objective-1e-6 {
+						t.Fatalf("trial %d: grid point (%v,%v) beats simplex %v", trial, x, y, s.Objective)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSenseAndStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" {
+		t.Error("Sense.String broken")
+	}
+	if Sense(9).String() != "?" {
+		t.Error("unknown Sense should stringify to ?")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Error("Status.String broken")
+	}
+	if Status(9).String() != "?" {
+		t.Error("unknown Status should stringify to ?")
+	}
+}
+
+func TestRedundantEqualityRows(t *testing.T) {
+	// Duplicate equality rows leave an artificial basic at zero after
+	// phase 1; the solver must still find the optimum.
+	p := &Problem{
+		C:      []float64{1, 1},
+		A:      [][]float64{{1, 1}, {1, 1}, {2, 2}},
+		B:      []float64{2, 2, 4},
+		Senses: []Sense{EQ, EQ, EQ},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-2) > 1e-6 {
+		t.Errorf("objective = %v, want 2", s.Objective)
+	}
+}

@@ -1,0 +1,119 @@
+package opq
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// DefaultNodeBudget bounds the number of DFS nodes Algorithm 2 may visit.
+// The Lemma-1 pruning keeps real menus far below this; the budget guards
+// against pathological menus (many bins of near-zero confidence).
+const DefaultNodeBudget = 5_000_000
+
+// Build constructs the Optimal Priority Queue for the menu and reliability
+// threshold t, following Algorithm 2: depth-first enumeration of bin
+// multisets in non-decreasing bin order, stopping each branch at the first
+// feasible combination and pruning branches dominated on (LCM, UC) per
+// Lemma 1.
+func Build(bins core.BinSet, t float64) (*Queue, error) {
+	return BuildBudget(bins, t, DefaultNodeBudget)
+}
+
+// BuildBudget is Build with an explicit enumeration node budget.
+func BuildBudget(bins core.BinSet, t float64, budget int) (*Queue, error) {
+	q, _, err := BuildInstrumented(bins, t, budget, true)
+	return q, err
+}
+
+// BuildStats reports enumeration effort; used by the Lemma-1 ablation
+// benchmarks to quantify how much the pruning rule saves.
+type BuildStats struct {
+	// NodesVisited counts DFS nodes expanded by Algorithm 2.
+	NodesVisited int
+}
+
+// BuildInstrumented is BuildBudget with enumeration statistics and a switch
+// for the Lemma-1 domination pruning. Disabling the pruning yields the same
+// queue (dominated combinations are still evicted at insertion) at a much
+// larger enumeration cost — the ablation DESIGN.md calls for.
+func BuildInstrumented(bins core.BinSet, t float64, budget int, prune bool) (*Queue, BuildStats, error) {
+	if bins.Len() == 0 {
+		return nil, BuildStats{}, fmt.Errorf("opq: empty bin menu")
+	}
+	if !(t >= 0 && t < 1) {
+		return nil, BuildStats{}, fmt.Errorf("opq: threshold %v outside [0,1)", t)
+	}
+	q := &Queue{Threshold: t, bins: bins}
+	need := core.Theta(t)
+	menu := bins.Bins()
+	weights := make([]float64, len(menu))
+	for i, b := range menu {
+		weights[i] = b.Weight()
+	}
+
+	b := &builder{q: q, menu: menu, weights: weights, need: need, budget: budget, prune: prune}
+	cur := Comb{counts: make([]int, len(menu)), bins: bins, LCM: 1}
+	if err := b.enumerate(0, cur); err != nil {
+		return nil, BuildStats{NodesVisited: b.nodes}, err
+	}
+	if len(q.Elems) == 0 {
+		return nil, BuildStats{NodesVisited: b.nodes}, fmt.Errorf("opq: no feasible combination found (budget %d)", budget)
+	}
+	return q, BuildStats{NodesVisited: b.nodes}, nil
+}
+
+// builder carries the shared state of the Algorithm-2 enumeration.
+type builder struct {
+	q       *Queue
+	menu    []core.TaskBin
+	weights []float64
+	need    float64
+	budget  int
+	nodes   int
+	// prune enables the Lemma-1 mid-enumeration domination cut; when
+	// false, domination is only checked at insertion time (the queue
+	// contents stay identical, the enumeration just visits more nodes).
+	prune bool
+}
+
+// enumerate is the SubFunction Enumerate(p, q, S, B, t) of Algorithm 2.
+// cur holds the multiset S built so far (with its LCM, UC and mass); p is
+// the smallest menu index allowed next, which makes the enumeration visit
+// each multiset exactly once.
+func (b *builder) enumerate(p int, cur Comb) error {
+	for k := p; k < len(b.menu); k++ {
+		b.nodes++
+		if b.nodes > b.budget {
+			return fmt.Errorf("opq: enumeration exceeded node budget %d", b.budget)
+		}
+		next := cur.clone()
+		next.counts[k]++
+		next.UC += b.menu[k].Cost / float64(b.menu[k].Cardinality)
+		next.Mass += b.weights[k]
+		l, err := lcm(cur.LCM, int64(b.menu[k].Cardinality))
+		if err != nil {
+			continue // overflowing combinations cannot beat the frontier
+		}
+		next.LCM = l
+
+		// Line 7: prune combinations (and thereby all their supersets)
+		// dominated by an existing frontier element.
+		dominated := b.q.dominated(next.LCM, next.UC)
+		if b.prune && dominated {
+			continue
+		}
+		if next.Mass >= b.need-core.RelTol {
+			// Lines 8-10: feasible — insert, evicting dominated elements.
+			if !dominated {
+				b.q.insert(next)
+			}
+			continue
+		}
+		// Line 12: infeasible and undominated — recurse deeper.
+		if err := b.enumerate(k, next); err != nil {
+			return err
+		}
+	}
+	return nil
+}

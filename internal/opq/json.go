@@ -1,0 +1,91 @@
+package opq
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// The JSON wire form of a Queue stores the menu, the threshold and each
+// combination's per-cardinality multiplicities; LCM, UC and Mass are
+// recomputed on decode so a corrupted or hand-edited file cannot smuggle in
+// inconsistent derived values. Queues are pure functions of (menu, t), but
+// serializing them lets deployments cache calibration outputs and ship the
+// exact queue a plan was produced from alongside the plan.
+
+// queueJSON is the wire form of a Queue.
+type queueJSON struct {
+	Threshold float64        `json:"threshold"`
+	Bins      []core.TaskBin `json:"bins"`
+	Combs     []map[int]int  `json:"combs"` // cardinality → multiplicity
+}
+
+// MarshalJSON encodes the queue.
+func (q *Queue) MarshalJSON() ([]byte, error) {
+	w := queueJSON{Threshold: q.Threshold, Bins: q.bins.Bins()}
+	for _, e := range q.Elems {
+		w.Combs = append(w.Combs, e.Uses())
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes and fully re-validates the queue: the menu must be
+// well-formed, every combination must refer to menu cardinalities, derived
+// quantities are recomputed, and the Definition-4 frontier invariants must
+// hold.
+func (q *Queue) UnmarshalJSON(data []byte) error {
+	var w queueJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	bins, err := core.NewBinSet(w.Bins)
+	if err != nil {
+		return err
+	}
+	if !(w.Threshold >= 0 && w.Threshold < 1) {
+		return fmt.Errorf("opq: decoded threshold %v outside [0,1)", w.Threshold)
+	}
+	dec := Queue{Threshold: w.Threshold, bins: bins}
+	for ci, uses := range w.Combs {
+		c := Comb{counts: make([]int, bins.Len()), bins: bins, LCM: 1}
+		cards := make([]int, 0, len(uses))
+		for card := range uses {
+			cards = append(cards, card)
+		}
+		sort.Ints(cards)
+		for _, card := range cards {
+			n := uses[card]
+			if n <= 0 {
+				return fmt.Errorf("opq: comb %d has non-positive multiplicity %d", ci, n)
+			}
+			idx := -1
+			for i := 0; i < bins.Len(); i++ {
+				if bins.At(i).Cardinality == card {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return fmt.Errorf("opq: comb %d uses cardinality %d absent from the menu", ci, card)
+			}
+			b := bins.At(idx)
+			c.counts[idx] = n
+			c.UC += float64(n) * b.Cost / float64(b.Cardinality)
+			c.Mass += float64(n) * b.Weight()
+			l, err := lcm(c.LCM, int64(card))
+			if err != nil {
+				return fmt.Errorf("opq: comb %d: %w", ci, err)
+			}
+			c.LCM = l
+		}
+		dec.Elems = append(dec.Elems, c)
+	}
+	sort.SliceStable(dec.Elems, func(i, j int) bool { return dec.Elems[i].LCM > dec.Elems[j].LCM })
+	if err := dec.Validate(); err != nil {
+		return err
+	}
+	*q = dec
+	return nil
+}

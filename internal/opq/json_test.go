@@ -1,0 +1,87 @@
+package opq
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestQueueJSONRoundTrip(t *testing.T) {
+	q, err := Build(table1(), 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Queue
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != q.Len() || back.Threshold != q.Threshold {
+		t.Fatalf("round trip changed shape: %d/%v vs %d/%v",
+			back.Len(), back.Threshold, q.Len(), q.Threshold)
+	}
+	for i := range q.Elems {
+		a, b := q.Elems[i], back.Elems[i]
+		if a.LCM != b.LCM || math.Abs(a.UC-b.UC) > 1e-12 || math.Abs(a.Mass-b.Mass) > 1e-12 {
+			t.Errorf("element %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	// The decoded queue must solve identically.
+	c1, err := PlanCost(q, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := PlanCost(&back, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c1-c2) > 1e-12 {
+		t.Errorf("decoded queue costs %v vs %v", c2, c1)
+	}
+}
+
+func TestQueueJSONRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 30; trial++ {
+		bins := randomMenu(rng)
+		th := 0.5 + 0.49*rng.Float64()
+		q, err := Build(bins, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Queue
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, data)
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("trial %d: decoded queue invalid: %v", trial, err)
+		}
+	}
+}
+
+func TestQueueJSONRejectsCorruption(t *testing.T) {
+	bad := []string{
+		`{`,
+		`{"threshold":1.5,"bins":[{"cardinality":1,"confidence":0.9,"cost":0.1}],"combs":[{"1":1}]}`,
+		`{"threshold":0.5,"bins":[{"cardinality":1,"confidence":0.9,"cost":0.1}],"combs":[{"7":1}]}`,
+		`{"threshold":0.5,"bins":[{"cardinality":1,"confidence":0.9,"cost":0.1}],"combs":[{"1":-2}]}`,
+		// Infeasible combination: mass below the demand.
+		`{"threshold":0.99,"bins":[{"cardinality":1,"confidence":0.6,"cost":0.1}],"combs":[{"1":1}]}`,
+		// Dominated pair violates the frontier invariant.
+		`{"threshold":0.5,"bins":[{"cardinality":1,"confidence":0.9,"cost":0.1},{"cardinality":2,"confidence":0.85,"cost":0.3}],"combs":[{"1":1},{"2":1}]}`,
+	}
+	for i, s := range bad {
+		var q Queue
+		if err := json.Unmarshal([]byte(s), &q); err == nil {
+			t.Errorf("case %d: corrupted queue accepted", i)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package opq
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Solver solves homogeneous SLADE instances with the OPQ-Based approximation
+// of Algorithm 3. It carries a log n approximation guarantee (Theorem 2) and
+// is exactly optimal when n is a multiple of OPQ1.LCM (Corollary 1).
+// The zero value is ready to use.
+type Solver struct{}
+
+// Name implements core.Solver.
+func (Solver) Name() string { return "OPQ-Based" }
+
+// Solve implements core.Solver. The instance must be homogeneous; use the
+// hetero package for mixed thresholds.
+func (Solver) Solve(in *core.Instance) (*core.Plan, error) {
+	if !in.Homogeneous() {
+		return nil, fmt.Errorf("opq: instance is heterogeneous; use hetero.Solver")
+	}
+	if in.N() == 0 {
+		return &core.Plan{}, nil
+	}
+	q, err := Build(in.Bins(), in.Threshold(0))
+	if err != nil {
+		return nil, err
+	}
+	tasks := make([]int, in.N())
+	for i := range tasks {
+		tasks[i] = i
+	}
+	return SolveWithQueue(q, tasks)
+}
+
+// SolveWithQueue runs Algorithm 3 on the given task identifiers using a
+// pre-built queue. The queue's threshold applies to every task. Sharing a
+// queue across calls is how the evaluation amortizes construction cost, and
+// how the heterogeneous OPQ-Extended algorithm drives per-partition solves.
+func SolveWithQueue(q *Queue, tasks []int) (*core.Plan, error) {
+	if len(q.Elems) == 0 {
+		return nil, fmt.Errorf("opq: empty queue")
+	}
+	if core.Theta(q.Threshold) == 0 {
+		return &core.Plan{}, nil
+	}
+	plan := &core.Plan{}
+	// Work on a shrinking view of the queue, as Algorithm 3 removes
+	// elements whose block size exceeds the remaining task count.
+	elems := q.Elems
+	prev := (*Comb)(nil)
+	// fallback covers the case where the remainder is smaller than every
+	// block and no combination was applied yet: one padded application of
+	// the cheapest one-shot block.
+	fallback := cheapestBlock(q)
+	pos := 0 // next unassigned task offset
+	n := len(tasks)
+
+	for n > 0 {
+		// Lines 4-5: drop combinations with blocks larger than what's left.
+		for len(elems) > 0 && elems[0].LCM > int64(n) {
+			elems = elems[1:]
+		}
+		if len(elems) == 0 {
+			// Remainder smaller than every block: cover it with one padded
+			// application of the previous combination (Algorithm 3's
+			// over-provisioning step), or of the cheapest block overall if
+			// the main loop never ran.
+			best := prev
+			if best == nil {
+				best = fallback
+			}
+			appendPaddedBlock(plan, best, tasks[pos:])
+			pos += n
+			n = 0
+			break
+		}
+
+		e := elems[0]
+		k := n / int(e.LCM)
+		// Lines 7-10: if covering k blocks with the current combination is
+		// dearer than one padded application of the previous combination,
+		// finish with the previous one.
+		if prev != nil && float64(k)*e.BlockCost() > prev.BlockCost() {
+			appendPaddedBlock(plan, prev, tasks[pos:])
+			pos += n
+			n = 0
+			break
+		}
+		// Lines 12-15: assign k full blocks.
+		for b := 0; b < k; b++ {
+			appendFullBlock(plan, &e, tasks[pos:pos+int(e.LCM)])
+			pos += int(e.LCM)
+		}
+		n -= k * int(e.LCM)
+		prev = &e
+	}
+	return plan, nil
+}
+
+// cheapestBlock returns the queue element with the smallest one-shot block
+// cost LCM × UC; it covers any remainder smaller than every block size.
+func cheapestBlock(q *Queue) *Comb {
+	best := &q.Elems[0]
+	for i := 1; i < len(q.Elems); i++ {
+		if q.Elems[i].BlockCost() < best.BlockCost() {
+			best = &q.Elems[i]
+		}
+	}
+	return best
+}
+
+// appendFullBlock expands one application of the combination over a block of
+// exactly LCM tasks: for every bin k used n_k times, the block sequence is
+// repeated n_k times and chunked into groups of k, so each task lands in
+// exactly n_k distinct k-cardinality bins (Figure 5 of the paper).
+func appendFullBlock(plan *core.Plan, c *Comb, block []int) {
+	for bi, nk := range c.counts {
+		if nk == 0 {
+			continue
+		}
+		card := c.bins.At(bi).Cardinality
+		for rep := 0; rep < nk; rep++ {
+			for start := 0; start < len(block); start += card {
+				use := core.BinUse{Cardinality: card}
+				use.Tasks = append(use.Tasks, block[start:start+card]...)
+				plan.Uses = append(plan.Uses, use)
+			}
+		}
+	}
+}
+
+// appendPaddedBlock expands one application of the combination over fewer
+// than LCM tasks by cycling the remainder to fill the block, dropping
+// duplicate tasks within a single bin. Every task still receives at least
+// n_k assignments per used cardinality k, so feasibility is preserved; the
+// full block cost is paid, matching Algorithm 3's over-provisioned final
+// step.
+func appendPaddedBlock(plan *core.Plan, c *Comb, rem []int) {
+	if len(rem) == 0 {
+		return
+	}
+	L := int(c.LCM)
+	padded := make([]int, L)
+	for i := 0; i < L; i++ {
+		padded[i] = rem[i%len(rem)]
+	}
+	for bi, nk := range c.counts {
+		if nk == 0 {
+			continue
+		}
+		card := c.bins.At(bi).Cardinality
+		for rep := 0; rep < nk; rep++ {
+			for start := 0; start < L; start += card {
+				use := core.BinUse{Cardinality: card}
+				seen := make(map[int]struct{}, card)
+				for _, t := range padded[start : start+card] {
+					if _, dup := seen[t]; dup {
+						continue
+					}
+					seen[t] = struct{}{}
+					use.Tasks = append(use.Tasks, t)
+				}
+				plan.Uses = append(plan.Uses, use)
+			}
+		}
+	}
+}
+
+// PlanCost predicts the cost Algorithm 3 will incur for n tasks without
+// materializing assignments. It mirrors SolveWithQueue's control flow and is
+// used by capacity planning and by tests.
+func PlanCost(q *Queue, n int) (float64, error) {
+	if len(q.Elems) == 0 {
+		return 0, fmt.Errorf("opq: empty queue")
+	}
+	if core.Theta(q.Threshold) == 0 || n == 0 {
+		return 0, nil
+	}
+	elems := q.Elems
+	prev := (*Comb)(nil)
+	fallback := cheapestBlock(q)
+	cost := 0.0
+	for n > 0 {
+		for len(elems) > 0 && elems[0].LCM > int64(n) {
+			elems = elems[1:]
+		}
+		if len(elems) == 0 {
+			best := prev
+			if best == nil {
+				best = fallback
+			}
+			cost += best.BlockCost()
+			n = 0
+			break
+		}
+		e := elems[0]
+		k := n / int(e.LCM)
+		if prev != nil && float64(k)*e.BlockCost() > prev.BlockCost() {
+			cost += prev.BlockCost()
+			n = 0
+			break
+		}
+		cost += float64(k) * e.BlockCost()
+		n -= k * int(e.LCM)
+		prev = &e
+	}
+	return cost, nil
+}
+
+// ApproxRatioBound returns the Theorem-2 approximation guarantee log2(n)
+// (at least 1) for an instance of n tasks.
+func ApproxRatioBound(n int) float64 {
+	if n < 2 {
+		return 1
+	}
+	return math.Log2(float64(n))
+}

@@ -18,6 +18,7 @@
 package slade_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -190,6 +191,47 @@ func BenchmarkFig6Scalability(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkServiceCachedVsCold measures the serving layer's warm-cache
+// request latency against the cold path that rebuilds the Optimal Priority
+// Queue per request. The gap is the amortization cmd/sladed buys for
+// repeated menus.
+func BenchmarkServiceCachedVsCold(b *testing.B) {
+	menu := benchMenu(b, experiments.Jelly, 20)
+	in, err := slade.NewHomogeneous(menu, 10_000, 0.9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+
+	b.Run("warm-cache", func(b *testing.B) {
+		svc := slade.NewService(slade.ServiceConfig{})
+		if _, err := svc.Decompose(ctx, in); err != nil { // prime the cache
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := svc.Decompose(ctx, in); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if st := svc.Stats(); st.Cache.Builds != 1 {
+			b.Fatalf("warm path rebuilt the queue: %+v", st.Cache)
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// A fresh service per iteration: every request pays Algorithm 2.
+			svc := slade.NewService(slade.ServiceConfig{})
+			if _, err := svc.Decompose(ctx, in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // heteroInstance builds the default heterogeneous workload of Section 7.2.

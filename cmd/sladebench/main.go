@@ -6,6 +6,12 @@
 //	sladebench -fig all            # every figure (6a-6l, 7a-7d, 8a-8b)
 //	sladebench -fig 6a             # one figure
 //	sladebench -fig 6i -csv        # CSV output
+//	sladebench -serve              # smoke-test the decomposition service
+//
+// -serve boots an in-process sladed service, fires warm- and cold-cache
+// decompose requests plus an async job through the HTTP API, and prints the
+// latency gap and the /v1/stats counters — a one-command sanity check that
+// the serving layer works on this machine.
 //
 // Figure identifiers follow the paper: 6a/6c (Jelly, t vs cost/time),
 // 6b/6d (SMIC), 6e/6g and 6f/6h (|B| sweeps), 6i/6k and 6j/6l (scalability),
@@ -25,8 +31,16 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "figure id (6a..6l, 7a..7d, 8a, 8b) or 'all'")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	serve := flag.Bool("serve", false, "smoke-test the decomposition service instead of regenerating figures")
 	flag.Parse()
 
+	if *serve {
+		if err := runServeSmoke(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "sladebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdout, *fig, *csv); err != nil {
 		fmt.Fprintln(os.Stderr, "sladebench:", err)
 		os.Exit(1)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
@@ -34,5 +35,18 @@ func TestRunUnknownFigure(t *testing.T) {
 	var sb strings.Builder
 	if err := run(&sb, "99z", false); err == nil {
 		t.Error("unknown figure accepted")
+	}
+}
+
+func TestServeSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runServeSmoke(&buf); err != nil {
+		t.Fatalf("serve smoke failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"cold decompose", "warm decompose", "async job", "OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("smoke output missing %q:\n%s", want, out)
+		}
 	}
 }

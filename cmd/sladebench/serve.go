@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	slade "repro"
+)
+
+// runServeSmoke boots the decomposition service in-process behind a real
+// HTTP listener and drives the request shapes sladed serves in production:
+// a cold decompose (pays Algorithm 2), warm repeats (cache hits), and an
+// async job polled to completion. It prints per-phase latency and the
+// /v1/stats counters so a deployment can eyeball cache amortization before
+// taking traffic.
+func runServeSmoke(w io.Writer) error {
+	svc := slade.NewService(slade.ServiceConfig{})
+	ts := httptest.NewServer(slade.NewServiceHandler(svc))
+	defer ts.Close()
+
+	menu, err := slade.JellyMenu(20)
+	if err != nil {
+		return err
+	}
+	binsJSON, err := json.Marshal(menu.Bins())
+	if err != nil {
+		return err
+	}
+	body := fmt.Sprintf(`{"bins":%s,"n":10000,"threshold":0.9}`, binsJSON)
+
+	fmt.Fprintf(w, "service smoke test against %s\n", ts.URL)
+
+	cold, err := timedPost(ts.URL+"/v1/decompose", body)
+	if err != nil {
+		return fmt.Errorf("cold decompose: %w", err)
+	}
+	fmt.Fprintf(w, "  cold decompose (builds OPQ):  %8.2f ms\n", cold.Seconds()*1e3)
+
+	const warmRuns = 5
+	var warmTotal time.Duration
+	for i := 0; i < warmRuns; i++ {
+		warm, err := timedPost(ts.URL+"/v1/decompose", body)
+		if err != nil {
+			return fmt.Errorf("warm decompose: %w", err)
+		}
+		warmTotal += warm
+	}
+	warmAvg := warmTotal / warmRuns
+	fmt.Fprintf(w, "  warm decompose (cache hit):   %8.2f ms  (avg of %d)\n", warmAvg.Seconds()*1e3, warmRuns)
+	if warmAvg > 0 {
+		fmt.Fprintf(w, "  cold/warm ratio:              %8.1fx\n", float64(cold)/float64(warmAvg))
+	}
+
+	if err := smokeJob(w, ts.URL, body); err != nil {
+		return err
+	}
+
+	st := svc.Stats()
+	fmt.Fprintf(w, "  stats: requests=%d errors=%d cache{builds=%d hits=%d misses=%d} jobs{done=%d}\n",
+		st.Requests, st.Errors, st.Cache.Builds, st.Cache.Hits, st.Cache.Misses, st.Jobs.Done)
+	if st.Errors > 0 {
+		return fmt.Errorf("smoke test saw %d request errors", st.Errors)
+	}
+	if st.Cache.Builds != 1 {
+		return fmt.Errorf("expected one OPQ build for one menu, got %d", st.Cache.Builds)
+	}
+	fmt.Fprintln(w, "  OK")
+	return nil
+}
+
+// smokeJob submits one async job and polls it to completion.
+func smokeJob(w io.Writer, base, body string) error {
+	start := time.Now()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return err
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("job submit: status %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			return err
+		}
+		err = json.NewDecoder(r.Body).Decode(&st)
+		r.Body.Close()
+		if err != nil {
+			return err
+		}
+		switch st.State {
+		case "done":
+			fmt.Fprintf(w, "  async job %-8s done in:     %8.2f ms\n", st.ID, time.Since(start).Seconds()*1e3)
+			return nil
+		case "failed", "canceled":
+			return fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s stuck in %s", st.ID, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// timedPost posts body and returns the request latency, failing on any
+// non-200 status.
+func timedPost(url, body string) (time.Duration, error) {
+	start := time.Now()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return 0, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}

@@ -1,0 +1,91 @@
+// Command sladed is the SLADE decomposition daemon: a long-running HTTP
+// service that decomposes large-scale crowdsourcing tasks on demand,
+// amortizing Optimal Priority Queue construction across requests and
+// sharding big instances over all CPU cores.
+//
+// Usage:
+//
+//	sladed                     # listen on :8080
+//	sladed -addr :9090         # custom listen address
+//	sladed -cache 256          # queue-cache capacity
+//	sladed -workers 8          # shard worker-pool size
+//
+// Endpoints (JSON): POST /v1/decompose, POST /v1/jobs, GET /v1/jobs/{id},
+// DELETE /v1/jobs/{id}, GET /v1/healthz, GET /v1/stats. See the README's
+// "Running sladed" section for curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	slade "repro"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cache := flag.Int("cache", 0, "queue-cache capacity (0 = default)")
+	workers := flag.Int("workers", 0, "shard worker-pool size (0 = all CPUs)")
+	maxJobs := flag.Int("max-jobs", 0, "concurrently running async jobs (0 = workers)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *addr, slade.ServiceConfig{
+		CacheSize: *cache,
+		Workers:   *workers,
+		MaxJobs:   *maxJobs,
+	}, log.Default()); err != nil {
+		fmt.Fprintln(os.Stderr, "sladed:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves the decomposition API on addr until ctx is canceled, then
+// drains in-flight requests.
+func run(ctx context.Context, addr string, cfg slade.ServiceConfig, logger *log.Logger) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return serve(ctx, ln, cfg, logger)
+}
+
+// serve runs the daemon on an existing listener; the testable core of main.
+func serve(ctx context.Context, ln net.Listener, cfg slade.ServiceConfig, logger *log.Logger) error {
+	svc := slade.NewService(cfg)
+	srv := &http.Server{
+		Handler:           slade.NewServiceHandler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	logger.Printf("sladed listening on %s (workers=%d)", ln.Addr(), svc.Stats().Workers)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("sladed shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

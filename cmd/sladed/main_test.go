@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	slade "repro"
+)
+
+// TestServeEndToEnd boots the daemon on an ephemeral port, exercises the
+// round trip a deployment would (health, decompose, stats), and checks
+// graceful shutdown.
+func TestServeEndToEnd(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + ln.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- serve(ctx, ln, slade.ServiceConfig{CacheSize: 16, Workers: 2}, log.New(io.Discard, "", 0))
+	}()
+
+	waitHealthy(t, base)
+
+	body := `{"bins":[{"cardinality":1,"confidence":0.9,"cost":0.1},
+		{"cardinality":2,"confidence":0.85,"cost":0.18},
+		{"cardinality":3,"confidence":0.8,"cost":0.24}],
+		"n":120,"threshold":0.95}`
+	resp, err := http.Post(base+"/v1/decompose", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dr struct {
+		Solver  string `json:"solver"`
+		Summary struct {
+			Cost float64 `json:"cost"`
+		} `json:"summary"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || dr.Summary.Cost <= 0 {
+		t.Fatalf("decompose: %d %+v", resp.StatusCode, dr)
+	}
+
+	sresp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st slade.ServiceStats
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if st.Requests != 1 || st.Cache.Builds != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("daemon never became healthy")
+}
+
+// TestRunBadAddr covers the listener-error path.
+func TestRunBadAddr(t *testing.T) {
+	err := run(context.Background(), "256.0.0.1:-1", slade.ServiceConfig{}, log.New(io.Discard, "", 0))
+	if err == nil {
+		t.Fatal("want listen error")
+	}
+}

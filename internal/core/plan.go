@@ -154,6 +154,51 @@ func (p *Plan) Merge(other *Plan) {
 	p.Uses = append(p.Uses, other.Uses...)
 }
 
+// MergePlans combines plans (nil entries skipped) into one new plan, in
+// order. Cost is additive: the merged plan's cost is the sum of the parts'
+// costs, and when the parts cover disjoint task sets against a shared menu
+// the merged plan is feasible iff every part is. Task slices are copied, so
+// mutating the merged plan (e.g. OffsetTasks) never touches the inputs. The
+// service layer uses it to reassemble per-shard and per-partition plans.
+func MergePlans(plans ...*Plan) *Plan {
+	total := 0
+	for _, p := range plans {
+		if p != nil {
+			total += len(p.Uses)
+		}
+	}
+	out := &Plan{Uses: make([]BinUse, 0, total)}
+	for _, p := range plans {
+		if p == nil {
+			continue
+		}
+		for _, u := range p.Uses {
+			out.Uses = append(out.Uses, BinUse{
+				Cardinality: u.Cardinality,
+				Tasks:       append([]int(nil), u.Tasks...),
+			})
+		}
+	}
+	return out
+}
+
+// OffsetTasks shifts every task identifier in the plan by delta. A caller
+// that solves a sub-problem in its own local index space 0..n-1 (the service
+// shards instead pass global ids through SolveWithQueue, so they never need
+// this) offsets the resulting plan to its base index before merging, so the
+// combined plan addresses the global task space.
+func (p *Plan) OffsetTasks(delta int) {
+	if delta == 0 {
+		return
+	}
+	for ui := range p.Uses {
+		tasks := p.Uses[ui].Tasks
+		for ti := range tasks {
+			tasks[ti] += delta
+		}
+	}
+}
+
 // Summary is a compact, printable description of a plan: uses per
 // cardinality plus the total cost, as in the paper's worked examples.
 type Summary struct {

@@ -143,6 +143,54 @@ func TestPlanMerge(t *testing.T) {
 	}
 }
 
+func TestMergePlans(t *testing.T) {
+	a := &Plan{Uses: []BinUse{{Cardinality: 1, Tasks: []int{0}}}}
+	b := &Plan{Uses: []BinUse{{Cardinality: 2, Tasks: []int{1, 2}}}}
+	merged := MergePlans(a, nil, b, &Plan{})
+	if merged.NumUses() != 2 || merged.NumAssignments() != 3 {
+		t.Fatalf("merged = %d uses / %d assignments, want 2/3", merged.NumUses(), merged.NumAssignments())
+	}
+	// Inputs are not aliased into appends past their own uses.
+	if a.NumUses() != 1 || b.NumUses() != 1 {
+		t.Fatal("MergePlans mutated its inputs")
+	}
+	// Task slices are copied: offsetting the merged plan must leave the
+	// inputs untouched.
+	merged.OffsetTasks(100)
+	if a.Uses[0].Tasks[0] != 0 || b.Uses[0].Tasks[0] != 1 {
+		t.Fatal("merged plan aliases input task slices")
+	}
+	merged.OffsetTasks(-100)
+	cost, err := merged.Cost(table1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.10 + 0.18; math.Abs(cost-want) > 1e-12 {
+		t.Fatalf("merged cost %v, want %v (additive)", cost, want)
+	}
+	if empty := MergePlans(); empty == nil || empty.NumUses() != 0 {
+		t.Fatal("MergePlans() must return an empty plan")
+	}
+}
+
+func TestOffsetTasks(t *testing.T) {
+	p := &Plan{Uses: []BinUse{
+		{Cardinality: 2, Tasks: []int{0, 1}},
+		{Cardinality: 1, Tasks: []int{2}},
+	}}
+	p.OffsetTasks(10)
+	if got := p.Uses[0].Tasks[0]; got != 10 {
+		t.Fatalf("offset task = %d, want 10", got)
+	}
+	if got := p.Uses[1].Tasks[0]; got != 12 {
+		t.Fatalf("offset task = %d, want 12", got)
+	}
+	p.OffsetTasks(-10)
+	if p.Uses[0].Tasks[0] != 0 || p.Uses[1].Tasks[0] != 2 {
+		t.Fatal("negative offset must invert")
+	}
+}
+
 func TestSummaryString(t *testing.T) {
 	in := MustHomogeneous(table1(), 4, 0.95)
 	s, err := examplePlanP2().Summarize(in.Bins())

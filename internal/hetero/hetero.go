@@ -39,12 +39,25 @@ type QueueSet struct {
 	ThetaMin, ThetaMax float64
 }
 
+// QueueBuilder constructs the Optimal Priority Queue for a menu and
+// threshold; opq.Build is the canonical implementation. BuildSetWith accepts
+// one so a serving layer can route per-interval queue construction through a
+// shared cache.
+type QueueBuilder func(bins core.BinSet, t float64) (*opq.Queue, error)
+
 // BuildSet runs Algorithm 4 on the instance: it computes
 // α = ⌊log2 θmin⌋ and builds one queue per interval upper bound
 // τ_i = min(2^{α+i+1}, θmax) until θmax is covered, then assigns every task
 // to the first interval whose bound dominates its demand. Tasks with zero
 // demand (t_i = 0) are omitted — they need no coverage.
 func BuildSet(in *core.Instance) (*QueueSet, error) {
+	return BuildSetWith(in, opq.Build)
+}
+
+// BuildSetWith is BuildSet with the per-interval queue construction delegated
+// to build. The partition structure (interval bounds and task placement) is
+// identical to BuildSet's; only the queue provenance differs.
+func BuildSetWith(in *core.Instance, build QueueBuilder) (*QueueSet, error) {
 	if in.Bins().Len() == 0 {
 		return nil, fmt.Errorf("hetero: empty bin menu")
 	}
@@ -77,7 +90,7 @@ func BuildSet(in *core.Instance) (*QueueSet, error) {
 		}
 		tau := math.Min(math.Pow(2, alpha+float64(i)+1), thetaMax)
 		t := core.ThresholdFromTheta(tau)
-		q, err := opq.Build(in.Bins(), t)
+		q, err := build(in.Bins(), t)
 		if err != nil {
 			return nil, fmt.Errorf("hetero: building queue for τ=%v: %w", tau, err)
 		}

@@ -1,0 +1,34 @@
+package opq
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Fingerprint returns a compact cache key for the queue opq.Build(bins, t)
+// would construct: an FNV-64a digest over the menu's bins (in
+// ascending-cardinality order, the canonical BinSet order) and the exact bit
+// pattern of the threshold. Identical (menu, threshold) pairs always share a
+// fingerprint; distinct pairs collide only with 64-bit-hash probability, so
+// callers using it as a cache key must confirm a hit against the full key
+// material (the service's OPQCache does).
+func Fingerprint(bins core.BinSet, t float64) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeF64 := func(v float64) {
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	for _, b := range bins.Bins() {
+		binary.BigEndian.PutUint64(buf[:], uint64(b.Cardinality))
+		h.Write(buf[:])
+		writeF64(b.Confidence)
+		writeF64(b.Cost)
+	}
+	writeF64(t)
+	return fmt.Sprintf("%016x:m%d:t%.6f", h.Sum64(), bins.Len(), t)
+}

@@ -1,0 +1,62 @@
+package opq
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func fpMenu(bins ...core.TaskBin) core.BinSet { return core.MustBinSet(bins) }
+
+func TestFingerprintStableAndOrderInsensitive(t *testing.T) {
+	a := fpMenu(
+		core.TaskBin{Cardinality: 1, Confidence: 0.9, Cost: 0.1},
+		core.TaskBin{Cardinality: 2, Confidence: 0.85, Cost: 0.18},
+	)
+	// Same bins given in the other order: NewBinSet canonicalizes, so the
+	// fingerprint must match.
+	b := fpMenu(
+		core.TaskBin{Cardinality: 2, Confidence: 0.85, Cost: 0.18},
+		core.TaskBin{Cardinality: 1, Confidence: 0.9, Cost: 0.1},
+	)
+	if Fingerprint(a, 0.9) != Fingerprint(b, 0.9) {
+		t.Fatal("fingerprint depends on input order")
+	}
+	if Fingerprint(a, 0.9) != Fingerprint(a, 0.9) {
+		t.Fatal("fingerprint not deterministic")
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	base := fpMenu(
+		core.TaskBin{Cardinality: 1, Confidence: 0.9, Cost: 0.1},
+		core.TaskBin{Cardinality: 2, Confidence: 0.85, Cost: 0.18},
+	)
+	cases := map[string]struct {
+		bins core.BinSet
+		t    float64
+	}{
+		"different threshold": {base, 0.95},
+		"different cost": {fpMenu(
+			core.TaskBin{Cardinality: 1, Confidence: 0.9, Cost: 0.11},
+			core.TaskBin{Cardinality: 2, Confidence: 0.85, Cost: 0.18},
+		), 0.9},
+		"different confidence": {fpMenu(
+			core.TaskBin{Cardinality: 1, Confidence: 0.91, Cost: 0.1},
+			core.TaskBin{Cardinality: 2, Confidence: 0.85, Cost: 0.18},
+		), 0.9},
+		"different cardinality": {fpMenu(
+			core.TaskBin{Cardinality: 1, Confidence: 0.9, Cost: 0.1},
+			core.TaskBin{Cardinality: 3, Confidence: 0.85, Cost: 0.18},
+		), 0.9},
+		"fewer bins": {fpMenu(
+			core.TaskBin{Cardinality: 1, Confidence: 0.9, Cost: 0.1},
+		), 0.9},
+	}
+	ref := Fingerprint(base, 0.9)
+	for name, tc := range cases {
+		if Fingerprint(tc.bins, tc.t) == ref {
+			t.Errorf("%s: fingerprint collision", name)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+)
+
+// MaxRequestBytes bounds decoded request bodies (64 MiB covers ~4M-task
+// heterogeneous instances).
+const MaxRequestBytes = 64 << 20
+
+// NewHandler returns the service's HTTP API:
+//
+//	POST   /v1/decompose   synchronous decomposition
+//	POST   /v1/jobs        submit an async job (solve or stream)
+//	GET    /v1/jobs/{id}   job status (+ result plan with ?include_plan=true)
+//	DELETE /v1/jobs/{id}   cancel a pending or running job
+//	GET    /v1/healthz     liveness probe
+//	GET    /v1/stats       request / cache / latency counters
+//
+// Everything is stdlib JSON over the stdlib mux; the handler is safe for
+// concurrent use.
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/decompose", func(w http.ResponseWriter, r *http.Request) {
+		handleDecompose(s, w, r)
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		handleSubmitJob(s, w, r)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		handleJobStatus(s, w, r)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		handleCancelJob(s, w, r)
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+// instanceRequest is the wire form of a problem instance: a menu plus
+// either a homogeneous (n, threshold) pair or per-task thresholds.
+type instanceRequest struct {
+	Bins       []core.TaskBin `json:"bins"`
+	N          int            `json:"n,omitempty"`
+	Threshold  *float64       `json:"threshold,omitempty"`
+	Thresholds []float64      `json:"thresholds,omitempty"`
+}
+
+// instance validates and builds the core.Instance.
+func (ir *instanceRequest) instance() (*core.Instance, error) {
+	bins, err := core.NewBinSet(ir.Bins)
+	if err != nil {
+		return nil, err
+	}
+	if len(ir.Thresholds) > 0 {
+		if ir.Threshold != nil || ir.N != 0 {
+			return nil, fmt.Errorf("give either thresholds or (n, threshold), not both")
+		}
+		return core.NewHeterogeneous(bins, ir.Thresholds)
+	}
+	if ir.Threshold == nil {
+		return nil, fmt.Errorf("missing threshold(s)")
+	}
+	return core.NewHomogeneous(bins, ir.N, *ir.Threshold)
+}
+
+// decomposeRequest is the POST /v1/decompose body.
+type decomposeRequest struct {
+	instanceRequest
+	// Solver names a registered solver; empty selects the default.
+	Solver string `json:"solver,omitempty"`
+	// IncludePlan embeds the full plan (all bin uses) in the response;
+	// summaries are returned regardless.
+	IncludePlan bool `json:"include_plan,omitempty"`
+}
+
+// decomposeResponse is the POST /v1/decompose reply.
+type decomposeResponse struct {
+	Solver    string        `json:"solver"`
+	N         int           `json:"n"`
+	Summary   PlanSummary   `json:"summary"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+	Plan      []core.BinUse `json:"plan,omitempty"`
+}
+
+func handleDecompose(s *Service, w http.ResponseWriter, r *http.Request) {
+	var req decomposeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	in, err := req.instance()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	name := req.Solver
+	if name == "" {
+		name = DefaultSolverName
+	}
+	start := time.Now()
+	plan, err := s.DecomposeWith(r.Context(), name, in)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	sum, err := plan.Summarize(in.Bins())
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := decomposeResponse{
+		Solver:    name,
+		N:         in.N(),
+		Summary:   NewPlanSummary(sum),
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
+	}
+	if req.IncludePlan {
+		resp.Plan = plan.Uses
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// jobRequest is the POST /v1/jobs body. Type selects the payload: "solve"
+// (default) uses the instance fields, "stream" the stream field.
+type jobRequest struct {
+	Type string `json:"type,omitempty"`
+	decomposeRequest
+	Stream *streamRequest `json:"stream,omitempty"`
+}
+
+// streamRequest is the wire form of a streaming-arrival job.
+type streamRequest struct {
+	Bins      []core.TaskBin `json:"bins"`
+	Threshold float64        `json:"threshold"`
+	Batches   [][]int        `json:"batches"`
+}
+
+func handleSubmitJob(s *Service, w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	var jr JobRequest
+	switch req.Type {
+	case "stream":
+		if req.Stream == nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("stream job missing stream payload"))
+			return
+		}
+		bins, err := core.NewBinSet(req.Stream.Bins)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		jr.Stream = &StreamJob{Bins: bins, Threshold: req.Stream.Threshold, Batches: req.Stream.Batches}
+		// Pass the solver field through so Submit can reject it: stream
+		// jobs always plan with the stream planner, and silently ignoring
+		// a requested solver would misattribute the results.
+		jr.Solver = req.Solver
+	case "", "solve":
+		in, err := req.instance()
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		jr.Instance = in
+		jr.Solver = req.Solver
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown job type %q", req.Type))
+		return
+	}
+	id, err := s.Jobs().Submit(jr)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.Jobs().Status(id)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// jobStatusResponse augments JobStatus with the optional full plan.
+type jobStatusResponse struct {
+	JobStatus
+	Plan []core.BinUse `json:"plan,omitempty"`
+}
+
+func handleJobStatus(s *Service, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, err := s.Jobs().Status(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	resp := jobStatusResponse{JobStatus: st}
+	if st.State == JobDone && r.URL.Query().Get("include_plan") == "true" {
+		plan, err := s.Jobs().Result(id)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.Plan = plan.Uses
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func handleCancelJob(s *Service, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.Jobs().Cancel(id); err != nil {
+		code := http.StatusConflict // terminal job: cancel conflicts with its state
+		if errors.Is(err, ErrUnknownJob) {
+			code = http.StatusNotFound
+		}
+		writeErr(w, code, err)
+		return
+	}
+	st, err := s.Jobs().Status(id)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// decodeBody decodes a JSON request body into dst, writing the error
+// response itself on failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+// statusCanceled is the nginx-convention 499 "client closed request";
+// net/http has no constant for it.
+const statusCanceled = 499
+
+// statusFor maps a solve error to an HTTP status: context cancellations
+// (the client went away mid-solve) surface as 499, everything else as 422
+// (the instance was well-formed JSON but unsolvable — e.g. unknown solver
+// or an infeasible menu).
+func statusFor(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return statusCanceled
+	}
+	return http.StatusUnprocessableEntity
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr writes a JSON error envelope.
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

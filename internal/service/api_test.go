@@ -1,0 +1,289 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/binset"
+	"repro/internal/core"
+	"repro/internal/opq"
+)
+
+func newTestServer(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := New(Config{CacheSize: 8, Workers: 2})
+	ts := httptest.NewServer(NewHandler(svc))
+	t.Cleanup(ts.Close)
+	return svc, ts
+}
+
+// table1JSON is the Table-1 menu in wire form.
+const table1JSON = `[{"cardinality":1,"confidence":0.9,"cost":0.1},
+	{"cardinality":2,"confidence":0.85,"cost":0.18},
+	{"cardinality":3,"confidence":0.8,"cost":0.24}]`
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func getJSON(t *testing.T, url string, dst any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if dst != nil {
+		if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func TestHTTPDecompose(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := fmt.Sprintf(`{"bins":%s,"n":100,"threshold":0.95,"include_plan":true}`, table1JSON)
+	resp, raw := postJSON(t, ts.URL+"/v1/decompose", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var dr decomposeResponse
+	if err := json.Unmarshal(raw, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.Solver != DefaultSolverName || dr.N != 100 {
+		t.Fatalf("response header fields: %+v", dr)
+	}
+	// The served plan must match the library's own OPQ-Based solve.
+	menu := binset.Table1()
+	in := core.MustHomogeneous(menu, 100, 0.95)
+	ref, err := (opq.Solver{}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ref.MustCost(menu); dr.Summary.Cost != want {
+		t.Fatalf("served cost %v != library cost %v", dr.Summary.Cost, want)
+	}
+	plan := &core.Plan{Uses: dr.Plan}
+	if err := plan.Validate(in); err != nil {
+		t.Fatalf("served plan invalid: %v", err)
+	}
+}
+
+func TestHTTPDecomposeHeterogeneousAndSolverSelection(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := fmt.Sprintf(`{"bins":%s,"thresholds":[0.5,0.6,0.7,0.86],"solver":"greedy"}`, table1JSON)
+	resp, raw := postJSON(t, ts.URL+"/v1/decompose", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var dr decomposeResponse
+	if err := json.Unmarshal(raw, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.Solver != "greedy" || dr.N != 4 || dr.Summary.Cost <= 0 {
+		t.Fatalf("response: %+v", dr)
+	}
+}
+
+func TestHTTPDecomposeErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, tc := range []struct {
+		name, body string
+		status     int
+	}{
+		{"malformed", `{"bins":`, http.StatusBadRequest},
+		{"unknown field", `{"bogus":1}`, http.StatusBadRequest},
+		{"no threshold", fmt.Sprintf(`{"bins":%s,"n":5}`, table1JSON), http.StatusBadRequest},
+		{"both threshold forms", fmt.Sprintf(`{"bins":%s,"n":5,"threshold":0.9,"thresholds":[0.9]}`, table1JSON), http.StatusBadRequest},
+		{"bad menu", `{"bins":[{"cardinality":0,"confidence":0.9,"cost":0.1}],"n":5,"threshold":0.9}`, http.StatusBadRequest},
+		{"unknown solver", fmt.Sprintf(`{"bins":%s,"n":5,"threshold":0.9,"solver":"nope"}`, table1JSON), http.StatusUnprocessableEntity},
+	} {
+		resp, raw := postJSON(t, ts.URL+"/v1/decompose", tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d want %d (%s)", tc.name, resp.StatusCode, tc.status, raw)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(raw, &e); err != nil || e["error"] == "" {
+			t.Errorf("%s: no error envelope in %s", tc.name, raw)
+		}
+	}
+}
+
+func TestHTTPJobRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := fmt.Sprintf(`{"bins":%s,"n":600,"threshold":0.9}`, table1JSON)
+	resp, raw := postJSON(t, ts.URL+"/v1/jobs", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, raw)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" {
+		t.Fatalf("no job id in %s", raw)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	var final jobStatusResponse
+	for {
+		if getJSON(t, ts.URL+"/v1/jobs/"+st.ID+"?include_plan=true", &final); final.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", final.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if final.State != JobDone || final.Summary == nil || len(final.Plan) == 0 {
+		t.Fatalf("final status: %+v", final)
+	}
+	in := core.MustHomogeneous(binset.Table1(), 600, 0.9)
+	if err := (&core.Plan{Uses: final.Plan}).Validate(in); err != nil {
+		t.Fatalf("served job plan invalid: %v", err)
+	}
+}
+
+func TestHTTPStreamJob(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := fmt.Sprintf(`{"type":"stream","stream":{"bins":%s,"threshold":0.95,
+		"batches":[[0,1,2,3,4],[5,6,7,8,9,10,11]]}}`, table1JSON)
+	resp, raw := postJSON(t, ts.URL+"/v1/jobs", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, raw)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var cur jobStatusResponse
+		getJSON(t, ts.URL+"/v1/jobs/"+st.ID, &cur)
+		if cur.State.Terminal() {
+			if cur.State != JobDone {
+				t.Fatalf("stream job: %+v", cur)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stream job stuck")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestHTTPCancelAndUnknownJob(t *testing.T) {
+	svc, ts := newTestServer(t)
+	// A slow solver parks the job Running so DELETE exercises live cancel.
+	block := make(chan struct{})
+	release := func() { close(block) }
+	if err := svc.RegisterSolver("slow", core.SolverFunc{
+		SolverName: "slow",
+		Fn: func(in *core.Instance) (*core.Plan, error) {
+			<-block
+			return &core.Plan{}, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	body := fmt.Sprintf(`{"bins":%s,"n":5,"threshold":0.9,"solver":"slow"}`, table1JSON)
+	resp, raw := postJSON(t, ts.URL+"/v1/jobs", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, raw)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", dresp.StatusCode)
+	}
+
+	if resp := getJSON(t, ts.URL+"/v1/jobs/nope", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status %d", resp.StatusCode)
+	}
+
+	// DELETE of an unknown id is 404 (gone), not 409 (bad state).
+	dreq, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/nope", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uresp, err := http.DefaultClient.Do(dreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uresp.Body.Close()
+	if uresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel unknown job: status %d, want 404", uresp.StatusCode)
+	}
+}
+
+func TestHTTPStreamJobRejectsSolverAndDuplicates(t *testing.T) {
+	_, ts := newTestServer(t)
+	for name, body := range map[string]string{
+		"solver on stream job": fmt.Sprintf(`{"type":"stream","solver":"greedy","stream":{"bins":%s,"threshold":0.9,"batches":[[0,1]]}}`, table1JSON),
+		"duplicate task ids":   fmt.Sprintf(`{"type":"stream","stream":{"bins":%s,"threshold":0.9,"batches":[[0,0,0]]}}`, table1JSON),
+	} {
+		resp, raw := postJSON(t, ts.URL+"/v1/jobs", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d want 400 (%s)", name, resp.StatusCode, raw)
+		}
+	}
+}
+
+func TestHTTPHealthzAndStats(t *testing.T) {
+	_, ts := newTestServer(t)
+	var hz map[string]string
+	if resp := getJSON(t, ts.URL+"/v1/healthz", &hz); resp.StatusCode != http.StatusOK || hz["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", resp.StatusCode, hz)
+	}
+
+	// Warm the cache with two identical requests, then read the counters.
+	body := fmt.Sprintf(`{"bins":%s,"n":50,"threshold":0.9}`, table1JSON)
+	postJSON(t, ts.URL+"/v1/decompose", body)
+	postJSON(t, ts.URL+"/v1/decompose", body)
+
+	var st Stats
+	if resp := getJSON(t, ts.URL+"/v1/stats", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	if st.Requests != 2 || st.Errors != 0 {
+		t.Fatalf("request counters: %+v", st)
+	}
+	if st.Cache.Builds != 1 || st.Cache.Hits != 1 {
+		t.Fatalf("warm request should hit the cache: %+v", st.Cache)
+	}
+	if len(st.Solvers) == 0 || st.Workers <= 0 {
+		t.Fatalf("stats payload: %+v", st)
+	}
+}

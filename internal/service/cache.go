@@ -1,0 +1,204 @@
+// Package service is the serving layer of the SLADE reproduction: a
+// long-running decomposition service that amortizes Optimal Priority Queue
+// construction across requests (OPQCache), splits large instances into
+// block-aligned shards solved concurrently on a bounded worker pool
+// (ShardedSolver), and runs asynchronous decomposition jobs
+// (JobManager) — the seam the cmd/sladed HTTP daemon exposes.
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/opq"
+)
+
+// DefaultCacheSize is the queue-cache capacity used when Config.CacheSize
+// is zero. Each entry is one built Optimal Priority Queue — small (a Pareto
+// frontier of combinations), so the default is generous.
+const DefaultCacheSize = 128
+
+// CacheStats is a snapshot of OPQCache effectiveness counters.
+type CacheStats struct {
+	// Hits counts Get calls answered from the cache.
+	Hits uint64 `json:"hits"`
+	// Misses counts Get calls that had to build (or wait for) a queue.
+	Misses uint64 `json:"misses"`
+	// Builds counts actual opq.Build invocations — with coalescing this is
+	// at most one per distinct (menu, threshold) key ever resident.
+	Builds uint64 `json:"builds"`
+	// Coalesced counts Get calls that piggybacked on an in-flight build
+	// instead of starting their own.
+	Coalesced uint64 `json:"coalesced"`
+	// Evictions counts entries dropped by the LRU policy.
+	Evictions uint64 `json:"evictions"`
+	// Entries is the current number of resident queues.
+	Entries int `json:"entries"`
+}
+
+// BuildFunc constructs a queue for a menu and threshold; opq.Build is the
+// production implementation. Tests inject counting or failing variants.
+type BuildFunc func(bins core.BinSet, t float64) (*opq.Queue, error)
+
+// OPQCache is a concurrency-safe LRU cache of Optimal Priority Queues keyed
+// by the canonical (menu, threshold) fingerprint. Concurrent Gets for the
+// same missing key coalesce into a single build: the first caller runs
+// Algorithm 2, the rest block until it finishes and share the result.
+// Queues are read-only after construction, so sharing is safe.
+type OPQCache struct {
+	mu       sync.Mutex
+	capacity int
+	build    BuildFunc
+	ll       *list.List               // front = most recently used
+	byKey    map[string]*list.Element // fingerprint → *cacheEntry element
+	inflight map[string]*inflightBuild
+	stats    CacheStats
+}
+
+// cacheEntry is one resident queue. The full (bins, threshold) key is kept
+// alongside the fingerprint so a hash collision is detected on hit instead
+// of silently serving a queue built for a different menu.
+type cacheEntry struct {
+	key       string
+	bins      core.BinSet
+	threshold float64
+	queue     *opq.Queue
+}
+
+// inflightBuild tracks a build in progress; waiters block on done.
+type inflightBuild struct {
+	bins      core.BinSet
+	threshold float64
+	done      chan struct{}
+	queue     *opq.Queue
+	err       error
+}
+
+// NewOPQCache returns a cache holding at most capacity queues
+// (DefaultCacheSize when capacity <= 0), building misses with opq.Build.
+func NewOPQCache(capacity int) *OPQCache {
+	return NewOPQCacheWithBuilder(capacity, opq.Build)
+}
+
+// NewOPQCacheWithBuilder is NewOPQCache with an injectable build function.
+func NewOPQCacheWithBuilder(capacity int, build BuildFunc) *OPQCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &OPQCache{
+		capacity: capacity,
+		build:    build,
+		ll:       list.New(),
+		byKey:    make(map[string]*list.Element),
+		inflight: make(map[string]*inflightBuild),
+	}
+}
+
+// Get returns the queue for (bins, t), building it on first use. Errors are
+// not cached: every Get for a failing key re-attempts the build (concurrent
+// callers still share one attempt). A fingerprint collision (distinct key
+// material, equal digest) is detected against the stored full key and
+// served by an uncached direct build, never by the colliding entry.
+func (c *OPQCache) Get(bins core.BinSet, t float64) (*opq.Queue, error) {
+	key := opq.Fingerprint(bins, t)
+
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		e := el.Value.(*cacheEntry)
+		if !sameKey(e.bins, e.threshold, bins, t) {
+			c.mu.Unlock()
+			return c.build(bins, t) // collision: bypass the cache entirely
+		}
+		c.stats.Hits++
+		c.ll.MoveToFront(el)
+		q := e.queue
+		c.mu.Unlock()
+		return q, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		if !sameKey(fl.bins, fl.threshold, bins, t) {
+			c.mu.Unlock()
+			return c.build(bins, t)
+		}
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.queue, fl.err
+	}
+	c.stats.Misses++
+	fl := &inflightBuild{bins: bins, threshold: t, done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.mu.Unlock()
+
+	// Algorithm 2 runs outside the lock: other keys stay servable and
+	// same-key callers coalesce onto fl.
+	q, err := c.build(bins, t)
+
+	c.mu.Lock()
+	c.stats.Builds++
+	delete(c.inflight, key)
+	if err == nil {
+		c.insertLocked(key, bins, t, q)
+	}
+	c.mu.Unlock()
+
+	fl.queue, fl.err = q, err
+	close(fl.done)
+	return q, err
+}
+
+// sameKey reports whether two (menu, threshold) pairs are identical — the
+// collision check behind the fingerprint shortcut.
+func sameKey(aBins core.BinSet, aT float64, bBins core.BinSet, bT float64) bool {
+	if aT != bT || aBins.Len() != bBins.Len() {
+		return false
+	}
+	for i := 0; i < aBins.Len(); i++ {
+		if aBins.At(i) != bBins.At(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// insertLocked adds a built queue and evicts the least recently used entry
+// past capacity. Caller holds c.mu.
+func (c *OPQCache) insertLocked(key string, bins core.BinSet, t float64, q *opq.Queue) {
+	if _, ok := c.byKey[key]; ok {
+		return // a racing build for the same key already landed
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, bins: bins, threshold: t, queue: q})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Contains reports whether the key for (bins, t) is resident, without
+// touching recency or counters.
+func (c *OPQCache) Contains(bins core.BinSet, t float64) bool {
+	key := opq.Fingerprint(bins, t)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.byKey[key]
+	return ok
+}
+
+// Len returns the number of resident queues.
+func (c *OPQCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *OPQCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	return s
+}

@@ -1,0 +1,411 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// ErrUnknownJob tags lookups of job ids that were never submitted or have
+// been evicted; the HTTP layer maps it to 404 rather than 409.
+var ErrUnknownJob = errors.New("service: unknown job")
+
+// JobState is the lifecycle state of an asynchronous decomposition job.
+type JobState string
+
+// Job lifecycle: Pending → Running → one of Done / Failed / Canceled.
+// Cancel flips a Pending job straight to Canceled; a Running job is
+// canceled cooperatively via its context.
+const (
+	JobPending  JobState = "pending"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// JobRequest describes one asynchronous decomposition. Exactly one of
+// Instance or Stream must be set.
+type JobRequest struct {
+	// Instance is a one-shot problem solved with the named Solver.
+	Instance *core.Instance
+	// Solver names a registered solver; empty selects the service default
+	// (the cached, sharded OPQ path).
+	Solver string
+	// Stream routes batched arrivals through a stream.Planner: each batch
+	// is planned incrementally at optimal block granularity and the
+	// remainder is flushed once at the end.
+	Stream *StreamJob
+}
+
+// StreamJob is the streaming-arrival job payload.
+type StreamJob struct {
+	// Bins is the menu shared by every arrival.
+	Bins core.BinSet
+	// Threshold is the homogeneous reliability threshold.
+	Threshold float64
+	// Batches are the arriving task-id batches, planned in order.
+	Batches [][]int
+}
+
+// JobStatus is an externally visible job snapshot.
+type JobStatus struct {
+	ID        string    `json:"id"`
+	State     JobState  `json:"state"`
+	Solver    string    `json:"solver"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitzero"`
+	Finished  time.Time `json:"finished,omitzero"`
+	// Error holds the failure message of a JobFailed job.
+	Error string `json:"error,omitempty"`
+	// Summary describes the result plan of a JobDone job.
+	Summary *PlanSummary `json:"summary,omitempty"`
+}
+
+// job is the manager's internal record.
+type job struct {
+	id     string
+	req    JobRequest
+	state  JobState
+	solver string
+	cancel context.CancelFunc
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	plan    *core.Plan
+	summary *PlanSummary
+	err     error
+}
+
+// JobManager runs asynchronous decomposition jobs on a bounded pool.
+// Completed jobs stay queryable until EvictJob (or service shutdown);
+// persistence is future work (see ROADMAP).
+type JobManager struct {
+	svc *Service
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	nextID int
+	// slots bounds concurrently running jobs; acquired before a job flips
+	// to Running so a flood of submissions queues instead of oversubscribing
+	// the solver pool.
+	slots chan struct{}
+
+	counts struct {
+		submitted, done, failed, canceled uint64
+	}
+}
+
+// newJobManager wires a manager to its owning service.
+func newJobManager(svc *Service, maxConcurrent int) *JobManager {
+	if maxConcurrent <= 0 {
+		maxConcurrent = 1
+	}
+	return &JobManager{
+		svc:   svc,
+		jobs:  make(map[string]*job),
+		slots: make(chan struct{}, maxConcurrent),
+	}
+}
+
+// Submit registers the request and starts it asynchronously, returning the
+// job id immediately.
+func (m *JobManager) Submit(req JobRequest) (string, error) {
+	if (req.Instance == nil) == (req.Stream == nil) {
+		return "", fmt.Errorf("service: job needs exactly one of instance or stream")
+	}
+	solver := req.Solver
+	if req.Stream != nil {
+		if solver != "" {
+			return "", fmt.Errorf("service: stream jobs use the stream planner; solver %q not applicable", solver)
+		}
+		solver = "stream"
+		if err := req.Stream.Bins.Validate(); err != nil {
+			return "", err
+		}
+		if req.Stream.Bins.Len() == 0 {
+			return "", fmt.Errorf("service: stream job with empty menu")
+		}
+		if !(req.Stream.Threshold >= 0 && req.Stream.Threshold < 1) {
+			return "", fmt.Errorf("service: stream threshold %v outside [0,1)", req.Stream.Threshold)
+		}
+		// The block expansion of Algorithm 3 assumes distinct task ids; a
+		// duplicate would land in one bin twice and make the plan invalid,
+		// so reject it up front rather than serving a corrupt plan.
+		seen := make(map[int]struct{})
+		for _, batch := range req.Stream.Batches {
+			for _, id := range batch {
+				if _, dup := seen[id]; dup {
+					return "", fmt.Errorf("service: duplicate task id %d in stream batches", id)
+				}
+				seen[id] = struct{}{}
+			}
+		}
+	} else {
+		if solver == "" {
+			solver = DefaultSolverName
+		}
+		if _, err := m.svc.solver(solver); err != nil {
+			return "", err
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	m.mu.Lock()
+	m.nextID++
+	j := &job{
+		id:        fmt.Sprintf("job-%d", m.nextID),
+		req:       req,
+		state:     JobPending,
+		solver:    solver,
+		cancel:    cancel,
+		submitted: time.Now(),
+	}
+	m.jobs[j.id] = j
+	m.counts.submitted++
+	m.mu.Unlock()
+
+	go m.run(ctx, j)
+	return j.id, nil
+}
+
+// run drives one job through its lifecycle.
+func (m *JobManager) run(ctx context.Context, j *job) {
+	// Wait for a slot; a cancel while queued settles the job without
+	// running it.
+	select {
+	case m.slots <- struct{}{}:
+		defer func() { <-m.slots }()
+	case <-ctx.Done():
+		m.settle(j, nil, ctx.Err())
+		return
+	}
+
+	m.mu.Lock()
+	if j.state != JobPending { // canceled between Submit and slot grant
+		m.mu.Unlock()
+		return
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	m.mu.Unlock()
+
+	plan, err := m.execute(ctx, j)
+	if err == nil && ctx.Err() != nil {
+		// A context-unaware solver ran to completion despite a cancel; the
+		// cancel still wins, so the job settles Canceled, not Done.
+		err = ctx.Err()
+	}
+	m.settle(j, plan, err)
+}
+
+// execute performs the job's work.
+func (m *JobManager) execute(ctx context.Context, j *job) (*core.Plan, error) {
+	if j.req.Stream != nil {
+		return m.runStream(ctx, j.req.Stream)
+	}
+	return m.svc.DecomposeWith(ctx, j.solver, j.req.Instance)
+}
+
+// runStream plans the batches through a fresh planner built on the cached
+// queue. The planner is single-use here: it is created per job and flushed
+// exactly once, so a flushed planner is never reused (stream.Planner.Reset
+// exists for pools that do want reuse).
+func (m *JobManager) runStream(ctx context.Context, sj *StreamJob) (*core.Plan, error) {
+	q, err := m.svc.cache.Get(sj.Bins, sj.Threshold)
+	if err != nil {
+		return nil, err
+	}
+	planner, err := stream.NewPlannerWithQueue(q)
+	if err != nil {
+		return nil, err
+	}
+	plans := make([]*core.Plan, 0, len(sj.Batches)+1)
+	for _, batch := range sj.Batches {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		p, err := planner.Add(batch...)
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, p)
+	}
+	tail, err := planner.Flush()
+	if err != nil {
+		return nil, err
+	}
+	plans = append(plans, tail)
+	return core.MergePlans(plans...), nil
+}
+
+// settle records a job's terminal state.
+func (m *JobManager) settle(j *job, plan *core.Plan, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = JobDone
+		j.plan = plan
+		if s, serr := summarize(plan, j.req); serr == nil {
+			j.summary = s
+		}
+		m.counts.done++
+	case errors.Is(err, context.Canceled):
+		j.state = JobCanceled
+		m.counts.canceled++
+	default:
+		j.state = JobFailed
+		j.err = err
+		m.counts.failed++
+	}
+	j.cancel() // release the context's resources in every terminal path
+}
+
+// summarize computes the result summary against the job's menu.
+func summarize(plan *core.Plan, req JobRequest) (*PlanSummary, error) {
+	var bins core.BinSet
+	if req.Stream != nil {
+		bins = req.Stream.Bins
+	} else {
+		bins = req.Instance.Bins()
+	}
+	sum, err := plan.Summarize(bins)
+	if err != nil {
+		return nil, err
+	}
+	ps := NewPlanSummary(sum)
+	return &ps, nil
+}
+
+// Status returns a snapshot of the job.
+func (m *JobManager) Status(id string) (JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("%w %q", ErrUnknownJob, id)
+	}
+	st := JobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Solver:    j.solver,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+		Summary:   j.summary,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st, nil
+}
+
+// Result returns the plan of a JobDone job.
+func (m *JobManager) Result(id string) (*core.Plan, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownJob, id)
+	}
+	switch j.state {
+	case JobDone:
+		return j.plan, nil
+	case JobFailed:
+		return nil, fmt.Errorf("service: job %s failed: %w", id, j.err)
+	case JobCanceled:
+		return nil, fmt.Errorf("service: job %s was canceled", id)
+	default:
+		return nil, fmt.Errorf("service: job %s still %s", id, j.state)
+	}
+}
+
+// Cancel stops a pending or running job. Canceling a terminal job is an
+// error; canceling a running job is cooperative (the solver observes the
+// context between shards) and the job settles as Canceled once it stops.
+func (m *JobManager) Cancel(id string) error {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w %q", ErrUnknownJob, id)
+	}
+	if j.state.Terminal() {
+		m.mu.Unlock()
+		return fmt.Errorf("service: job %s already %s", id, j.state)
+	}
+	if j.state == JobPending {
+		j.state = JobCanceled
+		j.finished = time.Now()
+		m.counts.canceled++
+		m.mu.Unlock()
+		j.cancel()
+		return nil
+	}
+	m.mu.Unlock()
+	j.cancel()
+	return nil
+}
+
+// EvictJob drops a terminal job's record (and its plan) from memory.
+func (m *JobManager) EvictJob(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w %q", ErrUnknownJob, id)
+	}
+	if !j.state.Terminal() {
+		return fmt.Errorf("service: job %s still %s", id, j.state)
+	}
+	delete(m.jobs, id)
+	return nil
+}
+
+// JobStats counts jobs by outcome.
+type JobStats struct {
+	Submitted uint64 `json:"submitted"`
+	Running   int    `json:"running"`
+	Pending   int    `json:"pending"`
+	Done      uint64 `json:"done"`
+	Failed    uint64 `json:"failed"`
+	Canceled  uint64 `json:"canceled"`
+}
+
+// Stats returns a snapshot of job counters.
+func (m *JobManager) Stats() JobStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := JobStats{
+		Submitted: m.counts.submitted,
+		Done:      m.counts.done,
+		Failed:    m.counts.failed,
+		Canceled:  m.counts.canceled,
+	}
+	for _, j := range m.jobs {
+		switch j.state {
+		case JobRunning:
+			s.Running++
+		case JobPending:
+			s.Pending++
+		}
+	}
+	return s
+}

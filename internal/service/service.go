@@ -1,0 +1,254 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/greedy"
+	"repro/internal/hetero"
+	"repro/internal/opq"
+)
+
+// DefaultSolverName selects the cached, sharded OPQ path — the service's
+// recommended solver for every instance shape.
+const DefaultSolverName = "sharded"
+
+// Config parameterizes a Service.
+type Config struct {
+	// CacheSize bounds the queue cache; <= 0 selects DefaultCacheSize.
+	CacheSize int
+	// Workers bounds the shard worker pool; <= 0 selects runtime.NumCPU().
+	Workers int
+	// MaxJobs bounds concurrently running async jobs; <= 0 selects Workers.
+	MaxJobs int
+}
+
+// Service is the long-running decomposition service: a queue cache, a
+// sharded solver, a registry of named solvers, and an async job manager.
+// All methods are safe for concurrent use.
+type Service struct {
+	cache   *OPQCache
+	sharded *ShardedSolver
+	jobs    *JobManager
+
+	mu      sync.RWMutex
+	solvers map[string]core.Solver
+
+	started time.Time
+
+	// Request counters; latency is tracked as a nanosecond sum so the
+	// stats endpoint can report a true mean over all requests.
+	requests  atomic.Uint64
+	errors    atomic.Uint64
+	latencyNS atomic.Uint64
+	tasks     atomic.Uint64
+}
+
+// New builds a Service with the standard solver line-up registered:
+// "sharded" (default), "greedy", "opq", "opq-extended", and "baseline".
+func New(cfg Config) *Service {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	maxJobs := cfg.MaxJobs
+	if maxJobs <= 0 {
+		maxJobs = workers
+	}
+	s := &Service{
+		cache:   NewOPQCache(cfg.CacheSize),
+		solvers: make(map[string]core.Solver),
+		started: time.Now(),
+	}
+	s.sharded = &ShardedSolver{Cache: s.cache, Workers: workers}
+	s.jobs = newJobManager(s, maxJobs)
+
+	s.mustRegister(DefaultSolverName, s.sharded)
+	s.mustRegister("greedy", greedy.Solver{})
+	s.mustRegister("opq", opq.Solver{})
+	s.mustRegister("opq-extended", hetero.Solver{})
+	s.mustRegister("baseline", baseline.Solver{Seed: 1})
+	return s
+}
+
+// RegisterSolver adds (or replaces) a named solver. The name is the routing
+// key for Decompose requests and job submissions.
+func (s *Service) RegisterSolver(name string, sv core.Solver) error {
+	if name == "" || sv == nil {
+		return fmt.Errorf("service: solver registration needs a name and a solver")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.solvers[name] = sv
+	return nil
+}
+
+// mustRegister is RegisterSolver for the built-in line-up.
+func (s *Service) mustRegister(name string, sv core.Solver) {
+	if err := s.RegisterSolver(name, sv); err != nil {
+		panic(err)
+	}
+}
+
+// SolverNames lists the registered solver names, sorted.
+func (s *Service) SolverNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.solverNamesLocked()
+}
+
+// solver resolves a registered solver by name.
+func (s *Service) solver(name string) (core.Solver, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sv, ok := s.solvers[name]
+	if !ok {
+		return nil, fmt.Errorf("service: unknown solver %q (registered: %v)", name, s.solverNamesLocked())
+	}
+	return sv, nil
+}
+
+// solverNamesLocked lists names; the caller holds s.mu.
+func (s *Service) solverNamesLocked() []string {
+	names := make([]string, 0, len(s.solvers))
+	for n := range s.solvers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Decompose solves the instance on the default cached + sharded path.
+func (s *Service) Decompose(ctx context.Context, in *core.Instance) (*core.Plan, error) {
+	return s.DecomposeWith(ctx, DefaultSolverName, in)
+}
+
+// DecomposeWith solves the instance with the named solver, recording
+// request, error, task and latency counters. Solvers that implement
+// SolveContext (the sharded solver does) observe ctx; plain core.Solvers
+// run to completion.
+func (s *Service) DecomposeWith(ctx context.Context, name string, in *core.Instance) (*core.Plan, error) {
+	start := time.Now()
+	plan, err := s.decomposeWith(ctx, name, in)
+	s.requests.Add(1)
+	s.latencyNS.Add(uint64(time.Since(start).Nanoseconds()))
+	if err != nil {
+		s.errors.Add(1)
+	} else if in != nil {
+		s.tasks.Add(uint64(in.N()))
+	}
+	return plan, err
+}
+
+// ctxSolver is the optional context-aware extension of core.Solver.
+type ctxSolver interface {
+	SolveContext(ctx context.Context, in *core.Instance) (*core.Plan, error)
+}
+
+func (s *Service) decomposeWith(ctx context.Context, name string, in *core.Instance) (*core.Plan, error) {
+	if in == nil {
+		return nil, fmt.Errorf("service: nil instance")
+	}
+	sv, err := s.solver(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cs, ok := sv.(ctxSolver); ok {
+		return cs.SolveContext(ctx, in)
+	}
+	return sv.Solve(in)
+}
+
+// Jobs returns the async job manager.
+func (s *Service) Jobs() *JobManager { return s.jobs }
+
+// Cache returns the shared queue cache.
+func (s *Service) Cache() *OPQCache { return s.cache }
+
+// PlanSummary is the wire form of core.Summary: JSON object keys must be
+// strings, so cardinalities are rendered as a sorted array of pairs.
+type PlanSummary struct {
+	// Uses lists (cardinality, count) pairs in ascending cardinality.
+	Uses []CardinalityUses `json:"uses"`
+	// NumUses is the total number of bin uses.
+	NumUses int `json:"num_uses"`
+	// NumAssignments is the total number of (task, bin) assignments.
+	NumAssignments int `json:"num_assignments"`
+	// Cost is the total incentive cost.
+	Cost float64 `json:"cost"`
+}
+
+// CardinalityUses is one (cardinality, count) summary row.
+type CardinalityUses struct {
+	Cardinality int `json:"cardinality"`
+	Count       int `json:"count"`
+}
+
+// NewPlanSummary converts a core.Summary.
+func NewPlanSummary(sum core.Summary) PlanSummary {
+	cards := make([]int, 0, len(sum.UsesByCardinality))
+	for l := range sum.UsesByCardinality {
+		cards = append(cards, l)
+	}
+	sort.Ints(cards)
+	uses := make([]CardinalityUses, 0, len(cards))
+	for _, l := range cards {
+		uses = append(uses, CardinalityUses{Cardinality: l, Count: sum.UsesByCardinality[l]})
+	}
+	return PlanSummary{
+		Uses:           uses,
+		NumUses:        sum.NumUses,
+		NumAssignments: sum.NumAssignments,
+		Cost:           sum.Cost,
+	}
+}
+
+// Stats is a point-in-time service snapshot, served by GET /v1/stats.
+type Stats struct {
+	// UptimeSeconds is the service age.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Requests counts Decompose/DecomposeWith calls (sync and job-driven).
+	Requests uint64 `json:"requests"`
+	// Errors counts failed requests.
+	Errors uint64 `json:"errors"`
+	// Tasks counts atomic tasks decomposed by successful requests.
+	Tasks uint64 `json:"tasks"`
+	// AvgLatencyMS is the mean request latency in milliseconds.
+	AvgLatencyMS float64 `json:"avg_latency_ms"`
+	// Cache reports queue-cache effectiveness.
+	Cache CacheStats `json:"cache"`
+	// Jobs reports async job counters.
+	Jobs JobStats `json:"jobs"`
+	// Solvers lists the registered solver names.
+	Solvers []string `json:"solvers"`
+	// Workers is the shard pool size.
+	Workers int `json:"workers"`
+}
+
+// Stats returns the current counters.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Requests:      s.requests.Load(),
+		Errors:        s.errors.Load(),
+		Tasks:         s.tasks.Load(),
+		Cache:         s.cache.Stats(),
+		Jobs:          s.jobs.Stats(),
+		Solvers:       s.SolverNames(),
+		Workers:       s.sharded.workers(),
+	}
+	if st.Requests > 0 {
+		st.AvgLatencyMS = float64(s.latencyNS.Load()) / float64(st.Requests) / 1e6
+	}
+	return st
+}

@@ -1,0 +1,189 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/hetero"
+	"repro/internal/opq"
+)
+
+// ShardedSolver solves SLADE instances by splitting them into independent
+// shards solved concurrently on a bounded worker pool, pulling every Optimal
+// Priority Queue through a shared cache.
+//
+// Sharding preserves the exact OPQ-Based cost. Algorithm 3 covers n tasks
+// with ⌊n / LCM₁⌋ full OPQ1 blocks — each provably optimal (Corollary 1) —
+// and one over-provisioned remainder. Every shard except the last holds an
+// exact multiple of LCM₁ tasks, so it decomposes into full OPQ1 blocks only;
+// the last shard holds a multiple of LCM₁ plus the global remainder and
+// reproduces the unsharded remainder handling verbatim. The merged plan
+// therefore has the same use multiset — and the same cost — as the
+// unsharded solve, for any shard count. Heterogeneous instances are first
+// partitioned per threshold class (Algorithm 4); the same argument applies
+// within each partition, and partitions are independent.
+type ShardedSolver struct {
+	// Cache supplies queues; required.
+	Cache *OPQCache
+	// Workers bounds solve concurrency; <= 0 selects runtime.NumCPU().
+	Workers int
+	// MinShardBlocks is the minimum number of full OPQ1 blocks a shard must
+	// hold for splitting to be worthwhile; <= 0 selects
+	// DefaultMinShardBlocks. Small instances stay unsharded.
+	MinShardBlocks int
+}
+
+// DefaultMinShardBlocks is the per-shard block floor used when
+// ShardedSolver.MinShardBlocks is zero: below it, goroutine and merge
+// overhead outweighs the parallel speedup.
+const DefaultMinShardBlocks = 8
+
+// Name implements core.Solver.
+func (s *ShardedSolver) Name() string { return "Sharded-OPQ" }
+
+// Solve implements core.Solver.
+func (s *ShardedSolver) Solve(in *core.Instance) (*core.Plan, error) {
+	return s.SolveContext(context.Background(), in)
+}
+
+// SolveContext is Solve with cancellation: between shards the context is
+// consulted and a canceled solve returns ctx.Err().
+func (s *ShardedSolver) SolveContext(ctx context.Context, in *core.Instance) (*core.Plan, error) {
+	if in == nil {
+		return nil, fmt.Errorf("service: nil instance")
+	}
+	if s.Cache == nil {
+		return nil, fmt.Errorf("service: ShardedSolver requires a cache")
+	}
+	if in.N() == 0 {
+		return &core.Plan{}, nil
+	}
+
+	shards, err := s.plan(in)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(ctx, shards)
+}
+
+// shardJob is one unit of work: a task slice solved against one queue.
+type shardJob struct {
+	queue *opq.Queue
+	tasks []int
+}
+
+// plan splits the instance into shard jobs. Homogeneous instances shard
+// directly; heterogeneous instances shard within each Algorithm-4 partition.
+// Job order is deterministic (partition order, then shard order), and the
+// merged plan preserves it.
+func (s *ShardedSolver) plan(in *core.Instance) ([]shardJob, error) {
+	if in.Homogeneous() {
+		q, err := s.Cache.Get(in.Bins(), in.Threshold(0))
+		if err != nil {
+			return nil, err
+		}
+		tasks := make([]int, in.N())
+		for i := range tasks {
+			tasks[i] = i
+		}
+		return s.split(q, tasks), nil
+	}
+
+	set, err := hetero.BuildSetWith(in, s.Cache.Get)
+	if err != nil {
+		return nil, err
+	}
+	var jobs []shardJob
+	for _, part := range set.Partitions {
+		if len(part.Tasks) == 0 {
+			continue
+		}
+		jobs = append(jobs, s.split(part.Queue, part.Tasks)...)
+	}
+	return jobs, nil
+}
+
+// split cuts one homogeneous task slice into block-aligned shards: every
+// shard but the last is an exact multiple of the queue's optimal block size
+// LCM₁, and the last also carries the remainder, mirroring the unsharded
+// Algorithm-3 control flow exactly.
+func (s *ShardedSolver) split(q *opq.Queue, tasks []int) []shardJob {
+	blockSize := int(q.Elems[0].LCM)
+	minBlocks := s.MinShardBlocks
+	if minBlocks <= 0 {
+		minBlocks = DefaultMinShardBlocks
+	}
+	fullBlocks := len(tasks) / blockSize
+	shards := s.workers()
+	if maxUseful := fullBlocks / minBlocks; shards > maxUseful {
+		shards = maxUseful
+	}
+	if shards <= 1 {
+		return []shardJob{{queue: q, tasks: tasks}}
+	}
+
+	blocksPer := fullBlocks / shards
+	extra := fullBlocks % shards
+	jobs := make([]shardJob, 0, shards)
+	pos := 0
+	for i := 0; i < shards; i++ {
+		size := blocksPer * blockSize
+		if i < extra {
+			size += blockSize
+		}
+		end := pos + size
+		if i == shards-1 {
+			end = len(tasks) // remainder rides with the final shard
+		}
+		jobs = append(jobs, shardJob{queue: q, tasks: tasks[pos:end]})
+		pos = end
+	}
+	return jobs
+}
+
+// run executes the shard jobs on a bounded worker pool and merges the plans
+// in job order.
+func (s *ShardedSolver) run(ctx context.Context, jobs []shardJob) (*core.Plan, error) {
+	if len(jobs) == 1 {
+		// Fast path: no pool, no merge.
+		return opq.SolveWithQueue(jobs[0].queue, jobs[0].tasks)
+	}
+
+	workers := s.workers()
+	sem := make(chan struct{}, workers)
+	plans := make([]*core.Plan, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			plans[i], errs[i] = opq.SolveWithQueue(jobs[i].queue, jobs[i].tasks)
+		}(i)
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return core.MergePlans(plans...), nil
+}
+
+// workers resolves the effective pool size.
+func (s *ShardedSolver) workers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.NumCPU()
+}

@@ -1,0 +1,104 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/binset"
+	"repro/internal/core"
+	"repro/internal/opq"
+)
+
+// TestStressConcurrentDecompose fires 96 concurrent decompose requests over
+// a handful of (menu, threshold) keys through one service and asserts the
+// acceptance criteria of the serving layer:
+//
+//  1. cache coalescing — exactly one opq.Build per distinct key, no matter
+//     how many requests race on a cold cache;
+//  2. cost fidelity — every sharded, cache-served plan costs exactly what
+//     the unsharded OPQ-Based solve of the same instance costs, and is
+//     feasible.
+//
+// Run under -race (CI does) to also certify the subsystem race-clean.
+func TestStressConcurrentDecompose(t *testing.T) {
+	jelly, err := binset.Jelly(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	menus := []core.BinSet{binset.Table1(), menuB(), jelly}
+	thresholds := []float64{0.9, 0.95}
+
+	type key struct {
+		menu int
+		t    float64
+	}
+	type workload struct {
+		key  key
+		in   *core.Instance
+		want float64 // unsharded reference cost
+	}
+	var workloads []workload
+	for mi, menu := range menus {
+		for _, th := range thresholds {
+			for _, n := range []int{37, 500, 2400} {
+				in := core.MustHomogeneous(menu, n, th)
+				ref, err := (opq.Solver{}).Solve(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				workloads = append(workloads, workload{
+					key:  key{menu: mi, t: th},
+					in:   in,
+					want: ref.MustCost(menu),
+				})
+			}
+		}
+	}
+	distinctKeys := len(menus) * len(thresholds)
+
+	svc := New(Config{CacheSize: 2 * distinctKeys, Workers: 4})
+	const requests = 96 // ≥ 64, and a multiple of the workload count
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make([]error, requests)
+	for i := 0; i < requests; i++ {
+		wl := workloads[i%len(workloads)]
+		wg.Add(1)
+		go func(i int, wl workload) {
+			defer wg.Done()
+			<-start // release all requests at once onto the cold cache
+			plan, err := svc.Decompose(context.Background(), wl.in)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if err := plan.Validate(wl.in); err != nil {
+				errs[i] = err
+				return
+			}
+			if got := plan.MustCost(wl.in.Bins()); got != wl.want {
+				t.Errorf("request %d: sharded cost %v != unsharded %v", i, got, wl.want)
+			}
+		}(i, wl)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+
+	st := svc.Cache().Stats()
+	if int(st.Builds) != distinctKeys {
+		t.Fatalf("want exactly %d opq.Build calls (one per distinct key), got %d (stats %+v)",
+			distinctKeys, st.Builds, st)
+	}
+	if got := st.Hits + st.Misses + st.Coalesced; got != requests {
+		t.Fatalf("cache saw %d lookups, want %d", got, requests)
+	}
+	if s := svc.Stats(); s.Requests != requests || s.Errors != 0 {
+		t.Fatalf("service stats: %+v", s)
+	}
+}

@@ -41,9 +41,19 @@ func NewPlanner(bins core.BinSet, t float64) (*Planner, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewPlannerWithQueue(q)
+}
+
+// NewPlannerWithQueue builds a planner around a pre-built (possibly cached
+// or shared) queue, skipping Algorithm 2. The queue is read-only to the
+// planner, so any number of planners may share one queue.
+func NewPlannerWithQueue(q *opq.Queue) (*Planner, error) {
+	if q == nil || len(q.Elems) == 0 {
+		return nil, fmt.Errorf("stream: empty queue")
+	}
 	return &Planner{
 		queue:     q,
-		bins:      bins,
+		bins:      q.Bins(),
 		blockSize: int(q.Elems[0].LCM),
 	}, nil
 }
@@ -51,6 +61,24 @@ func NewPlanner(bins core.BinSet, t float64) (*Planner, error) {
 // BlockSize returns the task granularity at which plans are emitted —
 // OPQ1.LCM, the provably optimal block size.
 func (p *Planner) BlockSize() int { return p.blockSize }
+
+// Flushed reports whether the planner has been closed by Flush. A flushed
+// planner rejects further Add and Flush calls; call Reset to start a new
+// stream on the same queue.
+func (p *Planner) Flushed() bool { return p.flushed }
+
+// Reset reopens the planner for a fresh stream: the buffer, emitted
+// counters, and the flushed flag are cleared while the (expensive) Optimal
+// Priority Queue is kept. Buffered-but-unplanned tasks are discarded — call
+// Flush first if they must be covered. Reset lets a long-running service
+// pool planners per (menu, threshold) without rebuilding queues, and makes
+// reuse-after-Flush a defined operation instead of a permanent error.
+func (p *Planner) Reset() {
+	p.buffer = nil
+	p.emittedCost = 0
+	p.emittedTasks = 0
+	p.flushed = false
+}
 
 // Pending returns the number of buffered tasks awaiting a full block.
 func (p *Planner) Pending() int { return len(p.buffer) }
@@ -63,8 +91,12 @@ func (p *Planner) EmittedTasks() int { return p.emittedTasks }
 
 // Add accepts a batch of task identifiers and returns the plan for every
 // full block the buffer now holds (an empty plan when fewer than BlockSize
-// tasks are pending). Task identifiers are the caller's; duplicates are
-// rejected only within a single block, mirroring bin semantics.
+// tasks are pending). Task identifiers are the caller's and must be
+// distinct across the stream: the block expansion places ids positionally,
+// so a duplicate inside one block would occupy two slots of the same bin
+// and yield a plan that fails core.Plan.Validate. Callers that cannot
+// guarantee distinctness must dedupe first (the service layer rejects
+// duplicate ids at job submission).
 func (p *Planner) Add(taskIDs ...int) (*core.Plan, error) {
 	if p.flushed {
 		return nil, fmt.Errorf("stream: planner already flushed")

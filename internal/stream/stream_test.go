@@ -187,3 +187,62 @@ func TestFlushSemantics(t *testing.T) {
 		t.Error("Add after Flush accepted")
 	}
 }
+
+func TestNewPlannerWithQueueSharesQueue(t *testing.T) {
+	q, err := opq.Build(table1(), 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewPlannerWithQueue(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPlanner(table1(), 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BlockSize() != b.BlockSize() {
+		t.Fatalf("shared-queue planner block size %d != built planner %d", a.BlockSize(), b.BlockSize())
+	}
+	pa, err := a.Add(0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.Add(0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.MustCost(table1()) != pb.MustCost(table1()) {
+		t.Fatal("shared-queue planner diverges from built planner")
+	}
+	if _, err := NewPlannerWithQueue(nil); err == nil {
+		t.Fatal("nil queue accepted")
+	}
+}
+
+func TestResetReopensFlushedPlanner(t *testing.T) {
+	p, err := NewPlanner(table1(), 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Add(0, 1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Flushed() {
+		t.Fatal("Flushed() false after Flush")
+	}
+	p.Reset()
+	if p.Flushed() || p.Pending() != 0 || p.EmittedCost() != 0 || p.EmittedTasks() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	plan, err := p.Add(0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumUses() == 0 {
+		t.Fatal("reset planner emitted nothing for a full block")
+	}
+}

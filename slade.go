@@ -40,6 +40,7 @@ package slade
 
 import (
 	"fmt"
+	"net/http"
 
 	"repro/internal/analysis"
 	"repro/internal/baseline"
@@ -55,6 +56,7 @@ import (
 	"repro/internal/hetero"
 	"repro/internal/opq"
 	"repro/internal/refine"
+	"repro/internal/service"
 	"repro/internal/stream"
 )
 
@@ -247,6 +249,48 @@ func AnalyzePlan(in *Instance, plan *Plan) (*PlanStats, error) {
 func ComparePlans(in *Instance, plans map[string]*Plan) (string, error) {
 	return analysis.Compare(in, plans)
 }
+
+// Serving layer: the long-running decomposition service behind cmd/sladed.
+
+type (
+	// Service is the concurrent decomposition service: OPQ cache, sharded
+	// solver pool, solver registry, and async job manager.
+	Service = service.Service
+	// ServiceConfig parameterizes NewService.
+	ServiceConfig = service.Config
+	// ServiceStats is the counter snapshot served by GET /v1/stats.
+	ServiceStats = service.Stats
+	// OPQCache is the LRU + request-coalescing queue cache.
+	OPQCache = service.OPQCache
+	// CacheStats reports queue-cache effectiveness.
+	CacheStats = service.CacheStats
+	// ShardedSolver solves instances in concurrent block-aligned shards.
+	ShardedSolver = service.ShardedSolver
+	// JobManager runs asynchronous decomposition jobs.
+	JobManager = service.JobManager
+	// JobRequest describes one async job (one-shot or streaming).
+	JobRequest = service.JobRequest
+	// JobStatus is an async job snapshot.
+	JobStatus = service.JobStatus
+	// StreamJob is the streaming-arrival job payload.
+	StreamJob = service.StreamJob
+)
+
+// NewService builds the decomposition service with the standard solvers
+// registered ("sharded", "greedy", "opq", "opq-extended", "baseline").
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// NewServiceHandler returns the service's HTTP JSON API (the handler
+// cmd/sladed serves).
+func NewServiceHandler(s *Service) http.Handler { return service.NewHandler(s) }
+
+// NewOPQCache returns a standalone queue cache for embedding the caching
+// layer without the full service.
+func NewOPQCache(capacity int) *OPQCache { return service.NewOPQCache(capacity) }
+
+// MenuFingerprint returns the canonical cache key for (menu, threshold) —
+// two pairs share a fingerprint exactly when they build identical queues.
+func MenuFingerprint(bins BinSet, t float64) string { return opq.Fingerprint(bins, t) }
 
 // Threshold workload generators (Section 7.2).
 var (

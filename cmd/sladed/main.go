@@ -1,18 +1,23 @@
 // Command sladed is the SLADE decomposition daemon: a long-running HTTP
 // service that decomposes large-scale crowdsourcing tasks on demand,
-// amortizing Optimal Priority Queue construction across requests and
-// sharding big instances over all CPU cores.
+// amortizing Optimal Priority Queue construction across requests,
+// sharding big instances over all CPU cores, and (with -data-dir)
+// persisting completed jobs and the OPQ cache so a restart loses nothing.
 //
 // Usage:
 //
-//	sladed                     # listen on :8080
-//	sladed -addr :9090         # custom listen address
-//	sladed -cache 256          # queue-cache capacity
-//	sladed -workers 8          # shard worker-pool size
+//	sladed                        # listen on :8080, in-memory only
+//	sladed -addr :9090            # custom listen address
+//	sladed -cache 256             # queue-cache capacity
+//	sladed -workers 8             # shard worker-pool size
+//	sladed -data-dir /var/slade   # durable job + cache state
+//	sladed -result-ttl 24h        # evict terminal jobs after 24 hours
+//	sladed -snapshot-interval 5m  # snapshot the OPQ cache every 5 minutes
 //
 // Endpoints (JSON): POST /v1/decompose, POST /v1/jobs, GET /v1/jobs/{id},
-// DELETE /v1/jobs/{id}, GET /v1/healthz, GET /v1/stats. See the README's
-// "Running sladed" section for curl examples.
+// DELETE /v1/jobs/{id}, POST /v1/admin/snapshot, GET /v1/healthz,
+// GET /v1/stats. See docs/OPERATIONS.md for the full flag reference, curl
+// examples and the restart-recovery runbook.
 package main
 
 import (
@@ -36,24 +41,44 @@ func main() {
 	cache := flag.Int("cache", 0, "queue-cache capacity (0 = default)")
 	workers := flag.Int("workers", 0, "shard worker-pool size (0 = all CPUs)")
 	maxJobs := flag.Int("max-jobs", 0, "concurrently running async jobs (0 = workers)")
+	dataDir := flag.String("data-dir", "", "durable state directory; empty keeps all state in memory")
+	resultTTL := flag.Duration("result-ttl", 0, "evict terminal jobs this long after they finish (0 = keep until deleted)")
+	snapInterval := flag.Duration("snapshot-interval", 0, "periodically persist the OPQ cache (0 = only at shutdown and on POST /v1/admin/snapshot)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := run(ctx, *addr, slade.ServiceConfig{
-		CacheSize: *cache,
-		Workers:   *workers,
-		MaxJobs:   *maxJobs,
-	}, log.Default()); err != nil {
+	cfg := daemonConfig{
+		service: slade.ServiceConfig{
+			CacheSize: *cache,
+			Workers:   *workers,
+			MaxJobs:   *maxJobs,
+			ResultTTL: *resultTTL,
+		},
+		dataDir:          *dataDir,
+		snapshotInterval: *snapInterval,
+	}
+	if err := run(ctx, *addr, cfg, log.Default()); err != nil {
 		fmt.Fprintln(os.Stderr, "sladed:", err)
 		os.Exit(1)
 	}
 }
 
+// daemonConfig bundles the service configuration with the daemon-level
+// durability knobs.
+type daemonConfig struct {
+	service slade.ServiceConfig
+	// dataDir roots the filesystem store; empty disables persistence.
+	dataDir string
+	// snapshotInterval spaces periodic OPQ cache snapshots; <= 0 snapshots
+	// only at shutdown and on explicit admin requests.
+	snapshotInterval time.Duration
+}
+
 // run serves the decomposition API on addr until ctx is canceled, then
 // drains in-flight requests.
-func run(ctx context.Context, addr string, cfg slade.ServiceConfig, logger *log.Logger) error {
+func run(ctx context.Context, addr string, cfg daemonConfig, logger *log.Logger) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -61,20 +86,56 @@ func run(ctx context.Context, addr string, cfg slade.ServiceConfig, logger *log.
 	return serve(ctx, ln, cfg, logger)
 }
 
-// serve runs the daemon on an existing listener; the testable core of main.
-func serve(ctx context.Context, ln net.Listener, cfg slade.ServiceConfig, logger *log.Logger) error {
-	svc := slade.NewService(cfg)
+// serve runs the daemon on an existing listener; the testable core of
+// main. With a data dir configured it opens the filesystem store, replays
+// persisted jobs, warm-loads the OPQ cache from the last snapshot, and
+// snapshots the cache periodically and at shutdown.
+func serve(ctx context.Context, ln net.Listener, cfg daemonConfig, logger *log.Logger) error {
+	svcCfg := cfg.service
+	svcCfg.Logger = logger
+	if cfg.dataDir != "" {
+		st, err := slade.OpenFSStore(cfg.dataDir, logger)
+		if err != nil {
+			return err
+		}
+		svcCfg.Store = st
+	}
+	svc := slade.NewService(svcCfg)
+	defer svc.Close()
+
+	if cfg.dataDir != "" {
+		loaded, err := svc.LoadCacheSnapshot()
+		if err != nil {
+			logger.Printf("sladed: warning: loading cache snapshot: %v", err)
+		} else if loaded > 0 {
+			logger.Printf("sladed: warm boot: %d cached queues restored", loaded)
+		}
+		if rec := svc.Stats().Jobs.Recovered; rec > 0 {
+			logger.Printf("sladed: warm boot: %d persisted jobs recovered", rec)
+		}
+	}
+
 	srv := &http.Server{
 		Handler:           slade.NewServiceHandler(svc),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	logger.Printf("sladed listening on %s (workers=%d)", ln.Addr(), svc.Stats().Workers)
+	logger.Printf("sladed listening on %s (workers=%d, durable=%v)",
+		ln.Addr(), svc.Stats().Workers, cfg.dataDir != "")
+
+	// The snapshot loop runs on a child context so it also stops when
+	// Serve fails on its own (fatal accept error) rather than only on a
+	// signal — otherwise waiting on snapDone below would deadlock.
+	loopCtx, loopCancel := context.WithCancel(ctx)
+	defer loopCancel()
+	snapDone := startSnapshotLoop(loopCtx, svc, cfg, logger)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
 	select {
 	case err := <-errc:
+		loopCancel()
+		<-snapDone
 		return err
 	case <-ctx.Done():
 	}
@@ -87,5 +148,45 @@ func serve(ctx context.Context, ln net.Listener, cfg slade.ServiceConfig, logger
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	<-snapDone
+	if cfg.dataDir != "" {
+		// Final snapshot so the next boot starts as warm as this process
+		// ended. Failures are logged, not fatal: job records were already
+		// durable the moment each job settled.
+		if info, err := svc.SaveCacheSnapshot(); err != nil {
+			logger.Printf("sladed: warning: shutdown snapshot: %v", err)
+		} else {
+			logger.Printf("sladed: shutdown snapshot: %d queues, %d bytes", info.Entries, info.Bytes)
+		}
+	}
 	return nil
+}
+
+// startSnapshotLoop persists the OPQ cache on the configured interval
+// until ctx is canceled; the returned channel closes when the loop exits.
+// Without a store or an interval it is a no-op.
+func startSnapshotLoop(ctx context.Context, svc *slade.Service, cfg daemonConfig, logger *log.Logger) <-chan struct{} {
+	done := make(chan struct{})
+	if cfg.dataDir == "" || cfg.snapshotInterval <= 0 {
+		close(done)
+		return done
+	}
+	go func() {
+		defer close(done)
+		t := time.NewTicker(cfg.snapshotInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if info, err := svc.SaveCacheSnapshot(); err != nil {
+					logger.Printf("sladed: warning: periodic snapshot: %v", err)
+				} else {
+					logger.Printf("sladed: snapshot: %d queues, %d bytes", info.Entries, info.Bytes)
+				}
+			}
+		}
+	}()
+	return done
 }

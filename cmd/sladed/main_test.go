@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"log"
 	"net"
@@ -27,7 +28,8 @@ func TestServeEndToEnd(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		done <- serve(ctx, ln, slade.ServiceConfig{CacheSize: 16, Workers: 2}, log.New(io.Discard, "", 0))
+		cfg := daemonConfig{service: slade.ServiceConfig{CacheSize: 16, Workers: 2}}
+		done <- serve(ctx, ln, cfg, log.New(io.Discard, "", 0))
 	}()
 
 	waitHealthy(t, base)
@@ -66,6 +68,19 @@ func TestServeEndToEnd(t *testing.T) {
 	if st.Requests != 1 || st.Cache.Builds != 1 {
 		t.Fatalf("stats: %+v", st)
 	}
+	if st.Persistence.Enabled {
+		t.Fatalf("persistence reported enabled without -data-dir: %+v", st.Persistence)
+	}
+
+	// Snapshot without a store must 409, not crash.
+	snapResp, err := http.Post(base+"/v1/admin/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapResp.Body.Close()
+	if snapResp.StatusCode != http.StatusConflict {
+		t.Fatalf("admin snapshot without store: want 409, got %d", snapResp.StatusCode)
+	}
 
 	cancel()
 	select {
@@ -76,6 +91,173 @@ func TestServeEndToEnd(t *testing.T) {
 	case <-time.After(15 * time.Second):
 		t.Fatal("daemon did not shut down")
 	}
+}
+
+// TestRestartRecovery is the durability acceptance test: a daemon started
+// with -data-dir, killed after N completed jobs, and restarted must serve
+// all N results from GET /v1/jobs/{id} and report a warm (non-empty) OPQ
+// cache in /v1/stats without rebuilding a single queue.
+func TestRestartRecovery(t *testing.T) {
+	dataDir := t.TempDir()
+	cfg := daemonConfig{
+		service: slade.ServiceConfig{CacheSize: 16, Workers: 2},
+		dataDir: dataDir,
+	}
+	const numJobs = 3
+
+	// First life: complete numJobs jobs, snapshot via the admin endpoint,
+	// then shut down (which also snapshots).
+	base, shutdown := startDaemon(t, cfg)
+	jobIDs := make([]string, 0, numJobs)
+	for i := 0; i < numJobs; i++ {
+		body := fmt.Sprintf(`{"bins":[{"cardinality":1,"confidence":0.9,"cost":0.1},
+			{"cardinality":2,"confidence":0.85,"cost":0.18}],
+			"n":%d,"threshold":0.9}`, 100+10*i)
+		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			ID string `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted || st.ID == "" {
+			t.Fatalf("submit job: %d %+v", resp.StatusCode, st)
+		}
+		jobIDs = append(jobIDs, st.ID)
+	}
+	for _, id := range jobIDs {
+		waitJobDone(t, base, id)
+	}
+
+	snapResp, err := http.Post(base+"/v1/admin/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Entries int `json:"entries"`
+		Bytes   int `json:"bytes"`
+	}
+	if err := json.NewDecoder(snapResp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	snapResp.Body.Close()
+	if snapResp.StatusCode != http.StatusOK || snap.Entries == 0 || snap.Bytes == 0 {
+		t.Fatalf("admin snapshot: %d %+v", snapResp.StatusCode, snap)
+	}
+
+	shutdown()
+
+	// Second life: same data dir, fresh process state.
+	base, shutdown = startDaemon(t, cfg)
+	defer shutdown()
+
+	for _, id := range jobIDs {
+		resp, err := http.Get(base + "/v1/jobs/" + id + "?include_plan=true")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State   string `json:"state"`
+			Solver  string `json:"solver"`
+			Summary *struct {
+				Cost float64 `json:"cost"`
+			} `json:"summary"`
+			Plan []struct {
+				Cardinality int   `json:"cardinality"`
+				Tasks       []int `json:"tasks"`
+			} `json:"plan"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("job %s after restart: status %d", id, resp.StatusCode)
+		}
+		if st.State != "done" || st.Summary == nil || st.Summary.Cost <= 0 || len(st.Plan) == 0 {
+			t.Fatalf("job %s after restart: %+v", id, st)
+		}
+	}
+
+	sresp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st slade.ServiceStats
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if !st.Persistence.Enabled {
+		t.Fatalf("persistence not enabled: %+v", st.Persistence)
+	}
+	if st.Cache.Entries == 0 {
+		t.Fatalf("cache cold after restart: %+v", st.Cache)
+	}
+	if st.Cache.Builds != 0 {
+		t.Fatalf("restart rebuilt %d queues instead of warm-loading: %+v", st.Cache.Builds, st.Cache)
+	}
+	if st.Jobs.Recovered != numJobs {
+		t.Fatalf("want %d recovered jobs, got %d", numJobs, st.Jobs.Recovered)
+	}
+}
+
+// startDaemon boots serve on an ephemeral port and returns the base URL
+// and a shutdown func that waits for a clean exit.
+func startDaemon(t *testing.T, cfg daemonConfig) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + ln.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, ln, cfg, log.New(io.Discard, "", 0)) }()
+	waitHealthy(t, base)
+	return base, func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("serve returned %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("daemon did not shut down")
+		}
+	}
+}
+
+// waitJobDone polls a job until it settles Done.
+func waitJobDone(t *testing.T, base, id string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		switch st.State {
+		case "done":
+			return
+		case "failed", "canceled":
+			t.Fatalf("job %s settled %s: %s", id, st.State, st.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
 }
 
 func waitHealthy(t *testing.T, base string) {
@@ -96,7 +278,7 @@ func waitHealthy(t *testing.T, base string) {
 
 // TestRunBadAddr covers the listener-error path.
 func TestRunBadAddr(t *testing.T) {
-	err := run(context.Background(), "256.0.0.1:-1", slade.ServiceConfig{}, log.New(io.Discard, "", 0))
+	err := run(context.Background(), "256.0.0.1:-1", daemonConfig{}, log.New(io.Discard, "", 0))
 	if err == nil {
 		t.Fatal("want listen error")
 	}

@@ -17,15 +17,17 @@ const MaxRequestBytes = 64 << 20
 
 // NewHandler returns the service's HTTP API:
 //
-//	POST   /v1/decompose   synchronous decomposition
-//	POST   /v1/jobs        submit an async job (solve or stream)
-//	GET    /v1/jobs/{id}   job status (+ result plan with ?include_plan=true)
-//	DELETE /v1/jobs/{id}   cancel a pending or running job
-//	GET    /v1/healthz     liveness probe
-//	GET    /v1/stats       request / cache / latency counters
+//	POST   /v1/decompose        synchronous decomposition
+//	POST   /v1/jobs             submit an async job (solve or stream)
+//	GET    /v1/jobs/{id}        job status (+ result plan with ?include_plan=true)
+//	DELETE /v1/jobs/{id}        cancel a pending or running job
+//	POST   /v1/admin/snapshot   persist the OPQ cache to the durable store
+//	GET    /v1/healthz          liveness probe
+//	GET    /v1/stats            request / cache / job / persistence counters
 //
 // Everything is stdlib JSON over the stdlib mux; the handler is safe for
-// concurrent use.
+// concurrent use — it is stateless itself and delegates to the
+// concurrency-safe Service. See docs/OPERATIONS.md for curl examples.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/decompose", func(w http.ResponseWriter, r *http.Request) {
@@ -39,6 +41,9 @@ func NewHandler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		handleCancelJob(s, w, r)
+	})
+	mux.HandleFunc("POST /v1/admin/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		handleSnapshot(s, w, r)
 	})
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -235,6 +240,23 @@ func handleCancelJob(s *Service, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// handleSnapshot persists the OPQ cache into the durable store on demand
+// (deployments also snapshot on a timer and at shutdown; this endpoint
+// lets an operator force one before a planned restart). 409 on a service
+// configured without a store.
+func handleSnapshot(s *Service, w http.ResponseWriter, _ *http.Request) {
+	info, err := s.SaveCacheSnapshot()
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrNoStore) {
+			code = http.StatusConflict
+		}
+		writeErr(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 // decodeBody decodes a JSON request body into dst, writing the error

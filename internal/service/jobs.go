@@ -2,12 +2,17 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/store"
 	"repro/internal/stream"
 )
 
@@ -89,11 +94,24 @@ type job struct {
 	err     error
 }
 
-// JobManager runs asynchronous decomposition jobs on a bounded pool.
-// Completed jobs stay queryable until EvictJob (or service shutdown);
-// persistence is future work (see ROADMAP).
+// JobManager runs asynchronous decomposition jobs on a bounded pool. All
+// exported methods are safe for concurrent use; internal state is guarded
+// by one mutex and solver work runs outside it.
+//
+// Terminal jobs stay queryable until they are evicted — explicitly via
+// EvictJob, or automatically once their age since Finished exceeds the
+// configured result TTL. With a durable store configured every terminal
+// job is also spilled to it, and a new manager replays the store at
+// construction, so completed plans survive a process restart.
 type JobManager struct {
 	svc *Service
+
+	// store receives terminal job records; nil disables persistence.
+	store store.Store
+	// ttl evicts terminal jobs (memory and store) this long after they
+	// finish; zero keeps them until EvictJob.
+	ttl    time.Duration
+	logger *log.Logger
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -105,23 +123,270 @@ type JobManager struct {
 
 	counts struct {
 		submitted, done, failed, canceled uint64
+		persisted, recovered, expired     uint64
 	}
+
+	// persistWG tracks in-flight spills to the store so close can wait
+	// for every settled job to be durable before returning.
+	persistWG sync.WaitGroup
+
+	// janitorStop ends the TTL sweeper; nil when no janitor runs.
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+	closeOnce   sync.Once
 }
 
-// newJobManager wires a manager to its owning service.
-func newJobManager(svc *Service, maxConcurrent int) *JobManager {
+// newJobManager wires a manager to its owning service, replays any jobs
+// the store holds from previous processes, and starts the TTL janitor
+// when a positive ttl is configured.
+func newJobManager(svc *Service, maxConcurrent int, st store.Store, ttl time.Duration, logger *log.Logger) *JobManager {
 	if maxConcurrent <= 0 {
 		maxConcurrent = 1
 	}
-	return &JobManager{
-		svc:   svc,
-		jobs:  make(map[string]*job),
-		slots: make(chan struct{}, maxConcurrent),
+	if logger == nil {
+		logger = log.Default()
+	}
+	m := &JobManager{
+		svc:    svc,
+		store:  st,
+		ttl:    ttl,
+		logger: logger,
+		jobs:   make(map[string]*job),
+		slots:  make(chan struct{}, maxConcurrent),
+	}
+	m.replay()
+	if ttl > 0 {
+		m.janitorStop = make(chan struct{})
+		m.janitorDone = make(chan struct{})
+		go m.janitor()
+	}
+	return m
+}
+
+// replay loads every readable terminal job record from the store into
+// memory, so results submitted before a restart remain queryable. Records
+// that fail to decode are skipped with a warning; ids are re-parsed so
+// fresh submissions never collide with recovered ones.
+func (m *JobManager) replay() {
+	if m.store == nil {
+		return
+	}
+	recs, err := m.store.ListJobs()
+	if err != nil {
+		m.logger.Printf("service: warning: replaying job store: %v", err)
+		return
+	}
+	now := time.Now()
+	var expired []string
+	m.mu.Lock()
+	for _, rec := range recs {
+		j, err := jobFromRecord(rec)
+		if err != nil {
+			m.logger.Printf("service: warning: skipping job record %s: %v", rec.ID, err)
+			continue
+		}
+		if m.ttl > 0 && now.Sub(j.finished) >= m.ttl {
+			expired = append(expired, j.id) // expired while the process was down
+			continue
+		}
+		m.jobs[j.id] = j
+		m.counts.recovered++
+		// Keep fresh ids strictly after every recovered one.
+		if n, ok := jobIDNumber(j.id); ok && n > m.nextID {
+			m.nextID = n
+		}
+	}
+	m.mu.Unlock()
+	// Reap expired-on-disk records here, once, rather than rescanning the
+	// whole store from the janitor: after replay, every live record has an
+	// in-memory twin whose expiry the sweep tracks directly.
+	for _, id := range expired {
+		m.deleteStored(id)
 	}
 }
 
+// jobIDNumber extracts N from a "job-N" id.
+func jobIDNumber(id string) (int, bool) {
+	num, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(num)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// jobFromRecord rebuilds an in-memory terminal job from its durable form.
+func jobFromRecord(rec store.JobRecord) (*job, error) {
+	state := JobState(rec.State)
+	if !state.Terminal() {
+		return nil, fmt.Errorf("non-terminal state %q", rec.State)
+	}
+	j := &job{
+		id:        rec.ID,
+		state:     state,
+		solver:    rec.Solver,
+		submitted: rec.Submitted,
+		started:   rec.Started,
+		finished:  rec.Finished,
+	}
+	if rec.Error != "" {
+		j.err = errors.New(rec.Error)
+	}
+	if len(rec.Plan) > 0 {
+		var plan core.Plan
+		if err := json.Unmarshal(rec.Plan, &plan); err != nil {
+			return nil, fmt.Errorf("decoding plan: %w", err)
+		}
+		j.plan = &plan
+	}
+	if len(rec.Summary) > 0 {
+		var sum PlanSummary
+		if err := json.Unmarshal(rec.Summary, &sum); err != nil {
+			return nil, fmt.Errorf("decoding summary: %w", err)
+		}
+		j.summary = &sum
+	}
+	if state == JobDone && j.plan == nil {
+		return nil, fmt.Errorf("done record without a plan")
+	}
+	return j, nil
+}
+
+// record converts a terminal job to its durable form. Caller holds m.mu.
+func recordFromJob(j *job) (store.JobRecord, error) {
+	rec := store.JobRecord{
+		Version:   store.RecordVersion,
+		ID:        j.id,
+		State:     string(j.state),
+		Solver:    j.solver,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+	}
+	if j.err != nil {
+		rec.Error = j.err.Error()
+	}
+	if j.plan != nil {
+		data, err := json.Marshal(j.plan)
+		if err != nil {
+			return store.JobRecord{}, err
+		}
+		rec.Plan = data
+	}
+	if j.summary != nil {
+		data, err := json.Marshal(j.summary)
+		if err != nil {
+			return store.JobRecord{}, err
+		}
+		rec.Summary = data
+	}
+	return rec, nil
+}
+
+// persist spills a terminal job to the store; failures are logged, never
+// fatal — the in-memory copy still serves until eviction. After the write
+// it re-checks that the job is still live: a concurrent EvictJob (or TTL
+// expiry) may have raced the spill, deleted from the store before the
+// record landed, and would otherwise see the job resurrected at the next
+// replay. Either ordering now ends with the record gone — the later of
+// the two operations observes the other's effect under m.mu and deletes.
+func (m *JobManager) persist(rec store.JobRecord) {
+	if err := m.store.PutJob(rec); err != nil {
+		m.logger.Printf("service: warning: persisting job %s: %v", rec.ID, err)
+		return
+	}
+	m.mu.Lock()
+	_, live := m.jobs[rec.ID]
+	if live {
+		m.counts.persisted++
+	}
+	m.mu.Unlock()
+	if !live {
+		m.deleteStored(rec.ID)
+	}
+}
+
+// janitor periodically reaps expired terminal jobs until close.
+func (m *JobManager) janitor() {
+	defer close(m.janitorDone)
+	interval := m.ttl / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.janitorStop:
+			return
+		case now := <-t.C:
+			m.sweep(now)
+		}
+	}
+}
+
+// expiredLocked reports whether the job's result has outlived the TTL.
+// Caller holds m.mu.
+func (m *JobManager) expiredLocked(j *job, now time.Time) bool {
+	return m.ttl > 0 && j.state.Terminal() && !j.finished.IsZero() && now.Sub(j.finished) >= m.ttl
+}
+
+// sweep drops every expired terminal job from memory and the store.
+// Records with no in-memory twin need no scan here: replay reaps the
+// pre-boot expirations and persist cleans up after eviction races, so
+// after construction every live record has an in-memory twin.
+func (m *JobManager) sweep(now time.Time) {
+	if m.ttl <= 0 {
+		return
+	}
+	m.mu.Lock()
+	var expired []string
+	for id, j := range m.jobs {
+		if m.expiredLocked(j, now) {
+			delete(m.jobs, id)
+			expired = append(expired, id)
+			m.counts.expired++
+		}
+	}
+	m.mu.Unlock()
+	for _, id := range expired {
+		m.deleteStored(id)
+	}
+}
+
+// deleteStored removes a job record from the store, tolerating absence.
+func (m *JobManager) deleteStored(id string) {
+	if m.store == nil {
+		return
+	}
+	if err := m.store.DeleteJob(id); err != nil && !errors.Is(err, store.ErrNotFound) {
+		m.logger.Printf("service: warning: deleting stored job %s: %v", id, err)
+	}
+}
+
+// close waits for in-flight spills to reach the store and stops the TTL
+// janitor; terminal job records stay in the store. Jobs still solving are
+// not waited for — their spill happens in a process that may outlive the
+// manager's owner, which is harmless (the store is append-consistent).
+func (m *JobManager) close() {
+	m.closeOnce.Do(func() {
+		m.persistWG.Wait()
+		if m.janitorStop != nil {
+			close(m.janitorStop)
+			<-m.janitorDone
+		}
+	})
+}
+
 // Submit registers the request and starts it asynchronously, returning the
-// job id immediately.
+// job id immediately. Safe for concurrent use; the request (including the
+// instance and stream payload) must not be mutated after Submit returns.
 func (m *JobManager) Submit(req JobRequest) (string, error) {
 	if (req.Instance == nil) == (req.Stream == nil) {
 		return "", fmt.Errorf("service: job needs exactly one of instance or stream")
@@ -251,11 +516,13 @@ func (m *JobManager) runStream(ctx context.Context, sj *StreamJob) (*core.Plan, 
 	return core.MergePlans(plans...), nil
 }
 
-// settle records a job's terminal state.
+// settle records a job's terminal state and, with a store configured,
+// spills the record to it (outside the lock; a slow disk never blocks
+// Status calls).
 func (m *JobManager) settle(j *job, plan *core.Plan, err error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if j.state.Terminal() {
+		m.mu.Unlock()
 		return
 	}
 	j.finished = time.Now()
@@ -275,7 +542,27 @@ func (m *JobManager) settle(j *job, plan *core.Plan, err error) {
 		j.err = err
 		m.counts.failed++
 	}
-	j.cancel() // release the context's resources in every terminal path
+	if j.cancel != nil {
+		j.cancel() // release the context's resources in every terminal path
+	}
+	var rec store.JobRecord
+	persist := m.store != nil
+	if persist {
+		var rerr error
+		rec, rerr = recordFromJob(j)
+		if rerr != nil {
+			m.logger.Printf("service: warning: encoding job %s for the store: %v", j.id, rerr)
+			persist = false
+		}
+	}
+	if persist {
+		m.persistWG.Add(1) // under the lock, so close cannot miss it
+	}
+	m.mu.Unlock()
+	if persist {
+		defer m.persistWG.Done()
+		m.persist(rec)
+	}
 }
 
 // summarize computes the result summary against the job's menu.
@@ -294,8 +581,27 @@ func summarize(plan *core.Plan, req JobRequest) (*PlanSummary, error) {
 	return &ps, nil
 }
 
-// Status returns a snapshot of the job.
+// expire applies lazy TTL expiry to id: a terminal job past its TTL is
+// dropped from memory (and, outside the lock, from the store) so TTL
+// precision does not depend on janitor timing. It reports whether the id
+// was expired by this call.
+func (m *JobManager) expire(id string) bool {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok || !m.expiredLocked(j, time.Now()) {
+		m.mu.Unlock()
+		return false
+	}
+	delete(m.jobs, id)
+	m.counts.expired++
+	m.mu.Unlock()
+	m.deleteStored(id)
+	return true
+}
+
+// Status returns a snapshot of the job. Safe for concurrent use.
 func (m *JobManager) Status(id string) (JobStatus, error) {
+	m.expire(id)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
@@ -317,8 +623,10 @@ func (m *JobManager) Status(id string) (JobStatus, error) {
 	return st, nil
 }
 
-// Result returns the plan of a JobDone job.
+// Result returns the plan of a JobDone job. Safe for concurrent use; the
+// returned plan is shared and must be treated as read-only.
 func (m *JobManager) Result(id string) (*core.Plan, error) {
+	m.expire(id)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
@@ -340,6 +648,7 @@ func (m *JobManager) Result(id string) (*core.Plan, error) {
 // Cancel stops a pending or running job. Canceling a terminal job is an
 // error; canceling a running job is cooperative (the solver observes the
 // context between shards) and the job settles as Canceled once it stops.
+// Safe for concurrent use, including concurrent Cancels of the same job.
 func (m *JobManager) Cancel(id string) error {
 	m.mu.Lock()
 	j, ok := m.jobs[id]
@@ -364,22 +673,28 @@ func (m *JobManager) Cancel(id string) error {
 	return nil
 }
 
-// EvictJob drops a terminal job's record (and its plan) from memory.
+// EvictJob drops a terminal job's record (and its plan) from memory and
+// from the durable store. With a result TTL configured the janitor does
+// this automatically; EvictJob remains for explicit reclamation. Safe for
+// concurrent use.
 func (m *JobManager) EvictJob(id string) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
 	if !ok {
+		m.mu.Unlock()
 		return fmt.Errorf("%w %q", ErrUnknownJob, id)
 	}
 	if !j.state.Terminal() {
+		m.mu.Unlock()
 		return fmt.Errorf("service: job %s still %s", id, j.state)
 	}
 	delete(m.jobs, id)
+	m.mu.Unlock()
+	m.deleteStored(id)
 	return nil
 }
 
-// JobStats counts jobs by outcome.
+// JobStats counts jobs by outcome and by durability event.
 type JobStats struct {
 	Submitted uint64 `json:"submitted"`
 	Running   int    `json:"running"`
@@ -387,9 +702,15 @@ type JobStats struct {
 	Done      uint64 `json:"done"`
 	Failed    uint64 `json:"failed"`
 	Canceled  uint64 `json:"canceled"`
+	// Persisted counts terminal jobs spilled to the durable store.
+	Persisted uint64 `json:"persisted"`
+	// Recovered counts jobs replayed from the store at construction.
+	Recovered uint64 `json:"recovered"`
+	// Expired counts terminal jobs reaped by the result TTL.
+	Expired uint64 `json:"expired"`
 }
 
-// Stats returns a snapshot of job counters.
+// Stats returns a snapshot of job counters. Safe for concurrent use.
 func (m *JobManager) Stats() JobStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -398,6 +719,9 @@ func (m *JobManager) Stats() JobStats {
 		Done:      m.counts.done,
 		Failed:    m.counts.failed,
 		Canceled:  m.counts.canceled,
+		Persisted: m.counts.persisted,
+		Recovered: m.counts.recovered,
+		Expired:   m.counts.expired,
 	}
 	for _, j := range m.jobs {
 		switch j.state {

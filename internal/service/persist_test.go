@@ -1,0 +1,381 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/binset"
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// quietLogger discards persistence warnings in tests that don't assert
+// on them.
+func quietLogger() *log.Logger { return log.New(io.Discard, "", 0) }
+
+// openFS opens a filesystem store in a per-test temp dir.
+func openFS(t *testing.T, dir string) *store.FS {
+	t.Helper()
+	st, err := store.OpenFS(dir, quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// submitAndWait runs one homogeneous solve job to completion.
+func submitAndWait(t *testing.T, svc *Service, n int) string {
+	t.Helper()
+	in, err := core.NewHomogeneous(binset.Table1(), n, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := svc.Jobs().Submit(JobRequest{Instance: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, svc, id); st.State != JobDone {
+		t.Fatalf("job %s settled %s: %s", id, st.State, st.Error)
+	}
+	return id
+}
+
+// TestJobsSpillAndReplay is the tentpole's core contract: terminal jobs
+// written by one Service are served — status, summary and full plan — by
+// a second Service opened on the same store, and fresh submissions never
+// reuse recovered ids.
+func TestJobsSpillAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	svc := New(Config{CacheSize: 8, Workers: 2, Store: openFS(t, dir), Logger: quietLogger()})
+	id := submitAndWait(t, svc, 100)
+	firstPlan, err := svc.Jobs().Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: fresh Service, same directory.
+	svc2 := New(Config{CacheSize: 8, Workers: 2, Store: openFS(t, dir), Logger: quietLogger()})
+	defer svc2.Close()
+	st, err := svc2.Jobs().Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobDone || st.Summary == nil || st.Summary.Cost <= 0 {
+		t.Fatalf("recovered status: %+v", st)
+	}
+	plan, err := svc2.Jobs().Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Uses) != len(firstPlan.Uses) {
+		t.Fatalf("recovered plan has %d uses, want %d", len(plan.Uses), len(firstPlan.Uses))
+	}
+	if got := svc2.Jobs().Stats().Recovered; got != 1 {
+		t.Fatalf("recovered counter: %d", got)
+	}
+
+	id2 := submitAndWait(t, svc2, 50)
+	if id2 == id {
+		t.Fatalf("fresh submission reused recovered id %s", id)
+	}
+}
+
+// TestFailedAndCanceledJobsPersist checks the non-Done terminal states
+// survive a restart with their error / state intact.
+func TestFailedAndCanceledJobsPersist(t *testing.T) {
+	dir := t.TempDir()
+	svc := New(Config{CacheSize: 8, Workers: 2, Store: openFS(t, dir), Logger: quietLogger()})
+	// An unsolvable instance: bin confidence below the threshold forever.
+	in, err := core.NewHomogeneous(core.MustBinSet([]core.TaskBin{
+		{Cardinality: 1, Confidence: 0.5, Cost: 0.1},
+	}), 10, 0.999999999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := svc.Jobs().Submit(JobRequest{Instance: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := svc.Jobs().Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			if st.State != JobFailed {
+				t.Skipf("instance solvable after all (settled %s); failure-path covered elsewhere", st.State)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never settled")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	svc.Close()
+
+	svc2 := New(Config{CacheSize: 8, Workers: 2, Store: openFS(t, dir), Logger: quietLogger()})
+	defer svc2.Close()
+	st, err := svc2.Jobs().Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobFailed || st.Error == "" {
+		t.Fatalf("recovered failed job: %+v", st)
+	}
+	if _, err := svc2.Jobs().Result(id); err == nil {
+		t.Fatal("Result on recovered failed job: want error")
+	}
+}
+
+// TestResultTTLExpiry checks both eviction paths: the lazy check on
+// Status and the background janitor, and that expiry also removes the
+// durable record.
+func TestResultTTLExpiry(t *testing.T) {
+	dir := t.TempDir()
+	fsStore := openFS(t, dir)
+	const ttl = 50 * time.Millisecond
+	svc := New(Config{CacheSize: 8, Workers: 2, Store: fsStore, ResultTTL: ttl, Logger: quietLogger()})
+	defer svc.Close()
+
+	id := submitAndWait(t, svc, 60)
+	if _, err := svc.Jobs().Status(id); err != nil {
+		t.Fatalf("fresh result must be visible: %v", err)
+	}
+	if _, err := fsStore.GetJob(id); err != nil {
+		t.Fatalf("fresh result must be durable: %v", err)
+	}
+
+	time.Sleep(2 * ttl)
+	if _, err := svc.Jobs().Status(id); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("expired result: want ErrUnknownJob, got %v", err)
+	}
+	// The janitor (or the lazy path above) must also reap the record.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := fsStore.GetJob(id); errors.Is(err, store.ErrNotFound) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("expired record never deleted from the store")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := svc.Jobs().Stats().Expired; got == 0 {
+		t.Fatal("expired counter never incremented")
+	}
+}
+
+// TestReplaySkipsExpiredRecords: results that outlived the TTL while the
+// process was down are not resurrected by replay.
+func TestReplaySkipsExpiredRecords(t *testing.T) {
+	dir := t.TempDir()
+	svc := New(Config{CacheSize: 8, Workers: 2, Store: openFS(t, dir), Logger: quietLogger()})
+	id := submitAndWait(t, svc, 60)
+	svc.Close()
+
+	time.Sleep(30 * time.Millisecond)
+	fsStore := openFS(t, dir)
+	svc2 := New(Config{CacheSize: 8, Workers: 2, Store: fsStore,
+		ResultTTL: 10 * time.Millisecond, Logger: quietLogger()})
+	defer svc2.Close()
+	if _, err := svc2.Jobs().Status(id); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("expired-while-down result resurrected: %v", err)
+	}
+	if got := svc2.Jobs().Stats().Recovered; got != 0 {
+		t.Fatalf("recovered counter counts expired record: %d", got)
+	}
+	// Replay reaps the expired record file itself; the janitor no longer
+	// scans the store for orphans.
+	if _, err := fsStore.GetJob(id); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("expired record not reaped at replay: %v", err)
+	}
+}
+
+// TestReplaySkipsCorruptRecordWithWarning: a torn record file on disk is
+// skipped with a logged warning at Service construction, never a crash,
+// and the good records still recover.
+func TestReplaySkipsCorruptRecordWithWarning(t *testing.T) {
+	dir := t.TempDir()
+	svc := New(Config{CacheSize: 8, Workers: 2, Store: openFS(t, dir), Logger: quietLogger()})
+	id := submitAndWait(t, svc, 60)
+	svc.Close()
+
+	torn := filepath.Join(dir, "jobs", "job-999.json")
+	if err := os.WriteFile(torn, []byte(`{"version":1,"id":"job-999","state":"do`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	logger := log.New(&buf, "", 0)
+	st, err := store.OpenFS(dir, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc2 := New(Config{CacheSize: 8, Workers: 2, Store: st, Logger: logger})
+	defer svc2.Close()
+	if _, err := svc2.Jobs().Status(id); err != nil {
+		t.Fatalf("good record lost alongside corrupt one: %v", err)
+	}
+	if !strings.Contains(buf.String(), "job-999") {
+		t.Fatalf("no warning logged for corrupt record; log:\n%s", buf.String())
+	}
+}
+
+// TestCacheSnapshotRestore round-trips the OPQ cache through its
+// serialized form: the restored cache serves hits without a single
+// build, preserves LRU order, and skips corrupted entries.
+func TestCacheSnapshotRestore(t *testing.T) {
+	c := NewOPQCache(8)
+	m1, m2 := binset.Table1(), menuB()
+	if _, err := c.Get(m1, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(m2, 0.95); err != nil {
+		t.Fatal(err)
+	}
+	data, entries, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != 2 {
+		t.Fatalf("snapshot entries: %d", entries)
+	}
+
+	re := NewOPQCache(8)
+	restored, skipped, err := re.Restore(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 2 || skipped != 0 {
+		t.Fatalf("restore: %d restored, %d skipped", restored, skipped)
+	}
+	if !re.Contains(m1, 0.9) || !re.Contains(m2, 0.95) {
+		t.Fatal("restored cache missing keys")
+	}
+	if _, err := re.Get(m1, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	st := re.Stats()
+	if st.Builds != 0 || st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("restored cache rebuilt instead of serving: %+v", st)
+	}
+
+	// Corrupt one entry: the rest must still restore.
+	var snap struct {
+		Version int `json:"version"`
+		Entries []struct {
+			Fingerprint string          `json:"fingerprint"`
+			Queue       json.RawMessage `json:"queue"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	snap.Entries[0].Queue = json.RawMessage(`{"threshold":2,"bins":[]}`)
+	tampered, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re2 := NewOPQCache(8)
+	restored, skipped, err = re2.Restore(tampered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 1 || skipped != 1 {
+		t.Fatalf("tampered restore: %d restored, %d skipped", restored, skipped)
+	}
+
+	// A fingerprint that disagrees with its queue is equally untrusted.
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	snap.Entries[0].Fingerprint = "deadbeef"
+	tampered, err = json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re3 := NewOPQCache(8)
+	restored, skipped, err = re3.Restore(tampered)
+	if err != nil || restored != 1 || skipped != 1 {
+		t.Fatalf("mismatched fingerprint: restored=%d skipped=%d err=%v", restored, skipped, err)
+	}
+
+	// Garbage and future versions fail loudly.
+	if _, _, err := re3.Restore([]byte("not json")); err == nil {
+		t.Fatal("want decode error")
+	}
+	if _, _, err := re3.Restore([]byte(`{"version":99,"entries":[]}`)); err == nil {
+		t.Fatal("want version error")
+	}
+}
+
+// TestServiceSnapshotRoundTrip drives the Service-level save/load pair,
+// including the no-store and no-snapshot edges.
+func TestServiceSnapshotRoundTrip(t *testing.T) {
+	noStore := New(Config{CacheSize: 8, Workers: 2, Logger: quietLogger()})
+	defer noStore.Close()
+	if _, err := noStore.SaveCacheSnapshot(); !errors.Is(err, ErrNoStore) {
+		t.Fatalf("save without store: want ErrNoStore, got %v", err)
+	}
+	if _, err := noStore.LoadCacheSnapshot(); !errors.Is(err, ErrNoStore) {
+		t.Fatalf("load without store: want ErrNoStore, got %v", err)
+	}
+
+	dir := t.TempDir()
+	svc := New(Config{CacheSize: 8, Workers: 2, Store: openFS(t, dir), Logger: quietLogger()})
+	// Empty store: loading is a clean no-op, not an error.
+	if n, err := svc.LoadCacheSnapshot(); err != nil || n != 0 {
+		t.Fatalf("load from empty store: n=%d err=%v", n, err)
+	}
+	submitAndWait(t, svc, 100) // builds one queue through the sharded path
+	info, err := svc.SaveCacheSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Entries != 1 || info.Bytes == 0 || info.At.IsZero() {
+		t.Fatalf("snapshot info: %+v", info)
+	}
+	if got := svc.Stats().Persistence.LastSnapshot.Entries; got != 1 {
+		t.Fatalf("stats last snapshot: %d", got)
+	}
+	svc.Close()
+
+	svc2 := New(Config{CacheSize: 8, Workers: 2, Store: openFS(t, dir), Logger: quietLogger()})
+	defer svc2.Close()
+	n, err := svc2.LoadCacheSnapshot()
+	if err != nil || n != 1 {
+		t.Fatalf("warm load: n=%d err=%v", n, err)
+	}
+	if st := svc2.Cache().Stats(); st.Entries != 1 || st.Builds != 0 {
+		t.Fatalf("warm cache: %+v", st)
+	}
+}
+
+// TestEvictJobRemovesStoredRecord: explicit eviction reclaims the disk
+// record too.
+func TestEvictJobRemovesStoredRecord(t *testing.T) {
+	dir := t.TempDir()
+	fsStore := openFS(t, dir)
+	svc := New(Config{CacheSize: 8, Workers: 2, Store: fsStore, Logger: quietLogger()})
+	defer svc.Close()
+	id := submitAndWait(t, svc, 60)
+	if err := svc.Jobs().EvictJob(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsStore.GetJob(id); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("evicted job still on disk: %v", err)
+	}
+}

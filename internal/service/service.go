@@ -2,7 +2,9 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"log"
 	"runtime"
 	"sort"
 	"sync"
@@ -14,6 +16,7 @@ import (
 	"repro/internal/greedy"
 	"repro/internal/hetero"
 	"repro/internal/opq"
+	"repro/internal/store"
 )
 
 // DefaultSolverName selects the cached, sharded OPQ path — the service's
@@ -28,20 +31,40 @@ type Config struct {
 	Workers int
 	// MaxJobs bounds concurrently running async jobs; <= 0 selects Workers.
 	MaxJobs int
+	// Store, when non-nil, makes terminal jobs durable: every completed
+	// job spills to it, the store is replayed at construction, and the
+	// OPQ cache can be snapshotted into it (SaveCacheSnapshot) and warm-
+	// loaded from it (LoadCacheSnapshot). Nil keeps everything in memory.
+	Store store.Store
+	// ResultTTL evicts terminal jobs — memory and store — this long after
+	// they finish; 0 keeps results until EvictJob.
+	ResultTTL time.Duration
+	// Logger receives persistence warnings; nil selects log.Default().
+	Logger *log.Logger
 }
 
+// ErrNoStore tags operations that need a durable store on a service
+// configured without one; the HTTP layer maps it to 409.
+var ErrNoStore = errors.New("service: no durable store configured")
+
 // Service is the long-running decomposition service: a queue cache, a
-// sharded solver, a registry of named solvers, and an async job manager.
-// All methods are safe for concurrent use.
+// sharded solver, a registry of named solvers, an async job manager, and
+// an optional durable store. All methods are safe for concurrent use.
 type Service struct {
 	cache   *OPQCache
 	sharded *ShardedSolver
 	jobs    *JobManager
+	store   store.Store
+	logger  *log.Logger
 
 	mu      sync.RWMutex
 	solvers map[string]core.Solver
 
 	started time.Time
+
+	// snapMu guards the last-snapshot info reported by Stats.
+	snapMu   sync.Mutex
+	lastSnap SnapshotInfo
 
 	// Request counters; latency is tracked as a nanosecond sum so the
 	// stats endpoint can report a true mean over all requests.
@@ -53,6 +76,8 @@ type Service struct {
 
 // New builds a Service with the standard solver line-up registered:
 // "sharded" (default), "greedy", "opq", "opq-extended", and "baseline".
+// With cfg.Store set, jobs persisted by earlier processes are replayed
+// before New returns. Call Close when done to stop background work.
 func New(cfg Config) *Service {
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -62,13 +87,19 @@ func New(cfg Config) *Service {
 	if maxJobs <= 0 {
 		maxJobs = workers
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.Default()
+	}
 	s := &Service{
 		cache:   NewOPQCache(cfg.CacheSize),
 		solvers: make(map[string]core.Solver),
+		store:   cfg.Store,
+		logger:  logger,
 		started: time.Now(),
 	}
 	s.sharded = &ShardedSolver{Cache: s.cache, Workers: workers}
-	s.jobs = newJobManager(s, maxJobs)
+	s.jobs = newJobManager(s, maxJobs, cfg.Store, cfg.ResultTTL, logger)
 
 	s.mustRegister(DefaultSolverName, s.sharded)
 	s.mustRegister("greedy", greedy.Solver{})
@@ -78,8 +109,78 @@ func New(cfg Config) *Service {
 	return s
 }
 
+// Close stops the service's background work (the result-TTL janitor).
+// Persisted state stays in the store; in-flight jobs are not waited for.
+// Idempotent and safe for concurrent use.
+func (s *Service) Close() error {
+	s.jobs.close()
+	return nil
+}
+
+// SnapshotInfo describes one persisted OPQ cache snapshot.
+type SnapshotInfo struct {
+	// Entries is the number of queues the snapshot holds.
+	Entries int `json:"entries"`
+	// Bytes is the serialized size.
+	Bytes int `json:"bytes"`
+	// At is when the snapshot was taken.
+	At time.Time `json:"at"`
+}
+
+// SaveCacheSnapshot serializes the current OPQ cache into the durable
+// store (under store.SnapshotOPQCache), so a later process can boot warm.
+// It returns ErrNoStore on a store-less service. Safe for concurrent use;
+// concurrent saves last-write-win atomically.
+func (s *Service) SaveCacheSnapshot() (SnapshotInfo, error) {
+	if s.store == nil {
+		return SnapshotInfo{}, ErrNoStore
+	}
+	data, entries, err := s.cache.Snapshot()
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	if err := s.store.PutSnapshot(store.SnapshotOPQCache, data); err != nil {
+		return SnapshotInfo{}, err
+	}
+	info := SnapshotInfo{Entries: entries, Bytes: len(data), At: time.Now()}
+	s.snapMu.Lock()
+	s.lastSnap = info
+	s.snapMu.Unlock()
+	return info, nil
+}
+
+// LoadCacheSnapshot restores the OPQ cache from the store's snapshot,
+// returning how many queues were loaded. A missing snapshot is not an
+// error (the cache just starts cold); corrupt entries are skipped with a
+// logged warning. Safe for concurrent use.
+func (s *Service) LoadCacheSnapshot() (int, error) {
+	if s.store == nil {
+		return 0, ErrNoStore
+	}
+	data, err := s.store.GetSnapshot(store.SnapshotOPQCache)
+	if errors.Is(err, store.ErrNotFound) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	restored, skipped, err := s.cache.Restore(data)
+	if err != nil {
+		return 0, err
+	}
+	if skipped > 0 {
+		s.logger.Printf("service: warning: cache snapshot: %d entries skipped as corrupt or stale", skipped)
+	}
+	return restored, nil
+}
+
+// Store returns the configured durable store (nil without persistence).
+func (s *Service) Store() store.Store { return s.store }
+
 // RegisterSolver adds (or replaces) a named solver. The name is the routing
-// key for Decompose requests and job submissions.
+// key for Decompose requests and job submissions. Safe for concurrent use,
+// including concurrently with in-flight solves; the registered solver must
+// itself be safe for concurrent Solve calls.
 func (s *Service) RegisterSolver(name string, sv core.Solver) error {
 	if name == "" || sv == nil {
 		return fmt.Errorf("service: solver registration needs a name and a solver")
@@ -97,7 +198,8 @@ func (s *Service) mustRegister(name string, sv core.Solver) {
 	}
 }
 
-// SolverNames lists the registered solver names, sorted.
+// SolverNames lists the registered solver names, sorted. Safe for
+// concurrent use; the returned slice is owned by the caller.
 func (s *Service) SolverNames() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -126,6 +228,7 @@ func (s *Service) solverNamesLocked() []string {
 }
 
 // Decompose solves the instance on the default cached + sharded path.
+// Safe for concurrent use.
 func (s *Service) Decompose(ctx context.Context, in *core.Instance) (*core.Plan, error) {
 	return s.DecomposeWith(ctx, DefaultSolverName, in)
 }
@@ -133,7 +236,7 @@ func (s *Service) Decompose(ctx context.Context, in *core.Instance) (*core.Plan,
 // DecomposeWith solves the instance with the named solver, recording
 // request, error, task and latency counters. Solvers that implement
 // SolveContext (the sharded solver does) observe ctx; plain core.Solvers
-// run to completion.
+// run to completion. Safe for concurrent use; the instance is only read.
 func (s *Service) DecomposeWith(ctx context.Context, name string, in *core.Instance) (*core.Plan, error) {
 	start := time.Now()
 	plan, err := s.decomposeWith(ctx, name, in)
@@ -169,10 +272,12 @@ func (s *Service) decomposeWith(ctx context.Context, name string, in *core.Insta
 	return sv.Solve(in)
 }
 
-// Jobs returns the async job manager.
+// Jobs returns the async job manager. Safe for concurrent use; the
+// manager itself is concurrency-safe.
 func (s *Service) Jobs() *JobManager { return s.jobs }
 
-// Cache returns the shared queue cache.
+// Cache returns the shared queue cache. Safe for concurrent use; the
+// cache itself is concurrency-safe.
 func (s *Service) Cache() *OPQCache { return s.cache }
 
 // PlanSummary is the wire form of core.Summary: JSON object keys must be
@@ -229,14 +334,31 @@ type Stats struct {
 	Cache CacheStats `json:"cache"`
 	// Jobs reports async job counters.
 	Jobs JobStats `json:"jobs"`
+	// Persistence reports the durable state layer's status.
+	Persistence PersistenceStats `json:"persistence"`
 	// Solvers lists the registered solver names.
 	Solvers []string `json:"solvers"`
 	// Workers is the shard pool size.
 	Workers int `json:"workers"`
 }
 
-// Stats returns the current counters.
+// PersistenceStats describes the durable store's configuration and the
+// last OPQ cache snapshot taken by this process.
+type PersistenceStats struct {
+	// Enabled reports whether a durable store is configured.
+	Enabled bool `json:"enabled"`
+	// ResultTTLSeconds is the terminal-job eviction TTL (0 = keep).
+	ResultTTLSeconds float64 `json:"result_ttl_seconds"`
+	// LastSnapshot is the most recent cache snapshot saved by this
+	// process; zero-valued until the first SaveCacheSnapshot.
+	LastSnapshot SnapshotInfo `json:"last_snapshot"`
+}
+
+// Stats returns the current counters. Safe for concurrent use.
 func (s *Service) Stats() Stats {
+	s.snapMu.Lock()
+	lastSnap := s.lastSnap
+	s.snapMu.Unlock()
 	st := Stats{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Requests:      s.requests.Load(),
@@ -244,8 +366,13 @@ func (s *Service) Stats() Stats {
 		Tasks:         s.tasks.Load(),
 		Cache:         s.cache.Stats(),
 		Jobs:          s.jobs.Stats(),
-		Solvers:       s.SolverNames(),
-		Workers:       s.sharded.workers(),
+		Persistence: PersistenceStats{
+			Enabled:          s.store != nil,
+			ResultTTLSeconds: s.jobs.ttl.Seconds(),
+			LastSnapshot:     lastSnap,
+		},
+		Solvers: s.SolverNames(),
+		Workers: s.sharded.workers(),
 	}
 	if st.Requests > 0 {
 		st.AvgLatencyMS = float64(s.latencyNS.Load()) / float64(st.Requests) / 1e6

@@ -25,6 +25,11 @@ import (
 // unsharded solve, for any shard count. Heterogeneous instances are first
 // partitioned per threshold class (Algorithm 4); the same argument applies
 // within each partition, and partitions are independent.
+//
+// Concurrency contract: Solve and SolveContext are safe for concurrent use
+// from any number of goroutines (the cache coalesces duplicate builds and
+// the worker pool bounds total parallelism). The exported fields configure
+// the solver and must not be mutated once the first Solve begins.
 type ShardedSolver struct {
 	// Cache supplies queues; required.
 	Cache *OPQCache
@@ -41,16 +46,19 @@ type ShardedSolver struct {
 // overhead outweighs the parallel speedup.
 const DefaultMinShardBlocks = 8
 
-// Name implements core.Solver.
+// Name implements core.Solver. Safe for concurrent use.
 func (s *ShardedSolver) Name() string { return "Sharded-OPQ" }
 
-// Solve implements core.Solver.
+// Solve implements core.Solver. Safe for concurrent use; see the type
+// comment for the full contract.
 func (s *ShardedSolver) Solve(in *core.Instance) (*core.Plan, error) {
 	return s.SolveContext(context.Background(), in)
 }
 
 // SolveContext is Solve with cancellation: between shards the context is
-// consulted and a canceled solve returns ctx.Err().
+// consulted and a canceled solve returns ctx.Err(). Safe for concurrent
+// use; the instance is only read, and the returned plan is owned by the
+// caller.
 func (s *ShardedSolver) SolveContext(ctx context.Context, in *core.Instance) (*core.Plan, error) {
 	if in == nil {
 		return nil, fmt.Errorf("service: nil instance")

@@ -1,0 +1,122 @@
+// Command checklinks verifies relative links in the repository's Markdown
+// files: every [text](target) whose target is neither an absolute URL nor
+// a pure fragment must resolve to an existing file or directory, relative
+// to the file containing the link. CI runs it as the docs gate; run it
+// locally with:
+//
+//	go run ./scripts/checklinks .
+//
+// Exit status is non-zero if any link is broken, with one line per
+// offender. Fragments (#section) are stripped before checking; anchors
+// themselves are not validated.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline Markdown links. It deliberately keeps the target
+// lazily matched and paren-free — good enough for this repository's docs,
+// with no external dependencies.
+var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// codeFenceRE matches fenced code block delimiters so links inside code
+// samples are not checked.
+var codeFenceRE = regexp.MustCompile("^\\s*```")
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	broken, err := check(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checklinks:", err)
+		os.Exit(2)
+	}
+	for _, b := range broken {
+		fmt.Println(b)
+	}
+	if len(broken) > 0 {
+		fmt.Fprintf(os.Stderr, "checklinks: %d broken relative link(s)\n", len(broken))
+		os.Exit(1)
+	}
+}
+
+// check walks root for *.md files and returns one message per broken
+// relative link.
+func check(root string) ([]string, error) {
+	var broken []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip VCS internals and vendored trees.
+			switch d.Name() {
+			case ".git", "node_modules", "vendor":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(strings.ToLower(d.Name()), ".md") {
+			return nil
+		}
+		msgs, err := checkFile(path)
+		if err != nil {
+			return err
+		}
+		broken = append(broken, msgs...)
+		return nil
+	})
+	return broken, err
+}
+
+// checkFile scans one Markdown file.
+func checkFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var broken []string
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if codeFenceRE.MatchString(line) {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if skippable(target) {
+				continue
+			}
+			// Drop the fragment; an empty remainder means same-file anchor.
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				broken = append(broken, fmt.Sprintf("%s:%d: broken link %q (resolved %s)", path, i+1, m[1], resolved))
+			}
+		}
+	}
+	return broken, nil
+}
+
+// skippable reports whether the target is out of scope: absolute URLs,
+// mail links, and absolute paths (which point outside the repo checkout).
+func skippable(target string) bool {
+	return strings.Contains(target, "://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#") ||
+		strings.HasPrefix(target, "/")
+}

@@ -40,6 +40,7 @@ package slade
 
 import (
 	"fmt"
+	"log"
 	"net/http"
 
 	"repro/internal/analysis"
@@ -57,6 +58,7 @@ import (
 	"repro/internal/opq"
 	"repro/internal/refine"
 	"repro/internal/service"
+	"repro/internal/store"
 	"repro/internal/stream"
 )
 
@@ -287,6 +289,33 @@ func NewServiceHandler(s *Service) http.Handler { return service.NewHandler(s) }
 // NewOPQCache returns a standalone queue cache for embedding the caching
 // layer without the full service.
 func NewOPQCache(capacity int) *OPQCache { return service.NewOPQCache(capacity) }
+
+// Durable state layer: the pluggable store behind ServiceConfig.Store.
+// See docs/FORMATS.md for the on-disk record and snapshot formats.
+type (
+	// JobStore is the pluggable durable state interface the service
+	// spills terminal jobs and cache snapshots into.
+	JobStore = store.Store
+	// JobRecord is the durable (versioned JSON) form of a terminal job.
+	JobRecord = store.JobRecord
+	// FSStore is the crash-safe filesystem JobStore.
+	FSStore = store.FS
+	// MemStore is the in-memory JobStore (state dies with the process).
+	MemStore = store.Mem
+	// SnapshotInfo describes one persisted OPQ cache snapshot.
+	SnapshotInfo = service.SnapshotInfo
+)
+
+// OpenFSStore opens (creating if needed) a crash-safe filesystem store
+// rooted at dir — the store cmd/sladed uses for -data-dir. A nil logger
+// falls back to log.Default().
+func OpenFSStore(dir string, logger *log.Logger) (*FSStore, error) {
+	return store.OpenFS(dir, logger)
+}
+
+// NewMemStore returns an in-memory store: useful in tests and in
+// deployments that want TTL eviction without disk durability.
+func NewMemStore() *MemStore { return store.NewMem() }
 
 // MenuFingerprint returns the canonical cache key for (menu, threshold) —
 // two pairs share a fingerprint exactly when they build identical queues.

@@ -7,11 +7,15 @@
 //	sladebench -fig 6a             # one figure
 //	sladebench -fig 6i -csv        # CSV output
 //	sladebench -serve              # smoke-test the decomposition service
+//	sladebench -serve -bench-json BENCH_serve.json  # + machine-readable results
 //
 // -serve boots an in-process sladed service, fires warm- and cold-cache
-// decompose requests plus an async job through the HTTP API, and prints the
-// latency gap and the /v1/stats counters — a one-command sanity check that
-// the serving layer works on this machine.
+// decompose requests plus an async solve job and a "kind":"run" execution
+// job through the HTTP API, and prints the latency gap and the /v1/stats
+// counters — a one-command sanity check that the serving layer works on
+// this machine. -bench-json additionally writes the measurements (cold/warm
+// latency, speedup, job and run round trips, achieved reliability) as JSON,
+// which CI uploads as an artifact to accumulate a perf trajectory.
 //
 // Figure identifiers follow the paper: 6a/6c (Jelly, t vs cost/time),
 // 6b/6d (SMIC), 6e/6g and 6f/6h (|B| sweeps), 6i/6k and 6j/6l (scalability),
@@ -32,10 +36,11 @@ func main() {
 	fig := flag.String("fig", "all", "figure id (6a..6l, 7a..7d, 8a, 8b) or 'all'")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	serve := flag.Bool("serve", false, "smoke-test the decomposition service instead of regenerating figures")
+	benchJSON := flag.String("bench-json", "", "with -serve, also write the measurements as JSON to this path")
 	flag.Parse()
 
 	if *serve {
-		if err := runServeSmoke(os.Stdout); err != nil {
+		if err := runServeSmoke(os.Stdout, *benchJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "sladebench:", err)
 			os.Exit(1)
 		}

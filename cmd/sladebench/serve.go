@@ -7,18 +7,38 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"time"
 
 	slade "repro"
 )
 
+// serveBench is the machine-readable outcome of the smoke run, written as
+// JSON when -bench-json is set so CI can accumulate a perf trajectory.
+type serveBench struct {
+	// ColdMS is the first decompose (pays Algorithm 2); WarmAvgMS the
+	// cache-hit average; Speedup their ratio.
+	ColdMS    float64 `json:"cold_ms"`
+	WarmAvgMS float64 `json:"warm_avg_ms"`
+	Speedup   float64 `json:"speedup"`
+	// JobMS is the async solve-job round trip; RunMS the run-job round
+	// trip (plan + simulated execution), with its achieved reliability
+	// and bins issued.
+	JobMS          float64 `json:"job_ms"`
+	RunMS          float64 `json:"run_ms"`
+	RunReliability float64 `json:"run_reliability"`
+	RunBinsIssued  int     `json:"run_bins_issued"`
+}
+
 // runServeSmoke boots the decomposition service in-process behind a real
 // HTTP listener and drives the request shapes sladed serves in production:
-// a cold decompose (pays Algorithm 2), warm repeats (cache hits), and an
-// async job polled to completion. It prints per-phase latency and the
-// /v1/stats counters so a deployment can eyeball cache amortization before
-// taking traffic.
-func runServeSmoke(w io.Writer) error {
+// a cold decompose (pays Algorithm 2), warm repeats (cache hits), an async
+// job polled to completion, and a "kind":"run" job executed against the
+// seeded simulated platform. It prints per-phase latency and the /v1/stats
+// counters so a deployment can eyeball cache amortization before taking
+// traffic; with a non-empty jsonPath it also writes the measurements as
+// JSON for CI artifacts.
+func runServeSmoke(w io.Writer, jsonPath string) error {
 	svc := slade.NewService(slade.ServiceConfig{})
 	ts := httptest.NewServer(slade.NewServiceHandler(svc))
 	defer ts.Close()
@@ -34,12 +54,14 @@ func runServeSmoke(w io.Writer) error {
 	body := fmt.Sprintf(`{"bins":%s,"n":10000,"threshold":0.9}`, binsJSON)
 
 	fmt.Fprintf(w, "service smoke test against %s\n", ts.URL)
+	var bench serveBench
 
 	cold, err := timedPost(ts.URL+"/v1/decompose", body)
 	if err != nil {
 		return fmt.Errorf("cold decompose: %w", err)
 	}
-	fmt.Fprintf(w, "  cold decompose (builds OPQ):  %8.2f ms\n", cold.Seconds()*1e3)
+	bench.ColdMS = cold.Seconds() * 1e3
+	fmt.Fprintf(w, "  cold decompose (builds OPQ):  %8.2f ms\n", bench.ColdMS)
 
 	const warmRuns = 5
 	var warmTotal time.Duration
@@ -51,34 +73,90 @@ func runServeSmoke(w io.Writer) error {
 		warmTotal += warm
 	}
 	warmAvg := warmTotal / warmRuns
-	fmt.Fprintf(w, "  warm decompose (cache hit):   %8.2f ms  (avg of %d)\n", warmAvg.Seconds()*1e3, warmRuns)
+	bench.WarmAvgMS = warmAvg.Seconds() * 1e3
+	fmt.Fprintf(w, "  warm decompose (cache hit):   %8.2f ms  (avg of %d)\n", bench.WarmAvgMS, warmRuns)
 	if warmAvg > 0 {
-		fmt.Fprintf(w, "  cold/warm ratio:              %8.1fx\n", float64(cold)/float64(warmAvg))
+		bench.Speedup = float64(cold) / float64(warmAvg)
+		fmt.Fprintf(w, "  cold/warm ratio:              %8.1fx\n", bench.Speedup)
 	}
 
-	if err := smokeJob(w, ts.URL, body); err != nil {
+	if bench.JobMS, err = smokeJob(w, ts.URL, body); err != nil {
+		return err
+	}
+	if err := smokeRunJob(w, ts.URL, binsJSON, &bench); err != nil {
 		return err
 	}
 
 	st := svc.Stats()
-	fmt.Fprintf(w, "  stats: requests=%d errors=%d cache{builds=%d hits=%d misses=%d} jobs{done=%d}\n",
-		st.Requests, st.Errors, st.Cache.Builds, st.Cache.Hits, st.Cache.Misses, st.Jobs.Done)
+	fmt.Fprintf(w, "  stats: requests=%d errors=%d cache{builds=%d hits=%d misses=%d} jobs{done=%d runs=%d}\n",
+		st.Requests, st.Errors, st.Cache.Builds, st.Cache.Hits, st.Cache.Misses, st.Jobs.Done, st.Jobs.Runs)
 	if st.Errors > 0 {
 		return fmt.Errorf("smoke test saw %d request errors", st.Errors)
 	}
 	if st.Cache.Builds != 1 {
 		return fmt.Errorf("expected one OPQ build for one menu, got %d", st.Cache.Builds)
 	}
+	if st.Jobs.Runs != 1 {
+		return fmt.Errorf("expected one executed run job, got %d", st.Jobs.Runs)
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing bench json: %w", err)
+		}
+		fmt.Fprintf(w, "  bench json written to %s\n", jsonPath)
+	}
 	fmt.Fprintln(w, "  OK")
 	return nil
 }
 
-// smokeJob submits one async job and polls it to completion.
-func smokeJob(w io.Writer, base, body string) error {
+// smokeRunJob submits one small "kind":"run" job against the seeded Jelly
+// platform and polls it to a terminal report.
+func smokeRunJob(w io.Writer, base string, binsJSON []byte, bench *serveBench) error {
+	body := fmt.Sprintf(`{"kind":"run","bins":%s,"n":500,"threshold":0.9,
+		"run":{"platform":"jelly","seed":1}}`, binsJSON)
+	out, err := submitAndPollJob(base, body, 60*time.Second)
+	if err != nil {
+		return err
+	}
+	var jv struct {
+		Report *struct {
+			Empirical  float64 `json:"empirical_reliability"`
+			BinsIssued int     `json:"bins_issued"`
+		} `json:"report"`
+	}
+	if err := json.Unmarshal(out.Final, &jv); err != nil {
+		return err
+	}
+	if jv.Report == nil {
+		return fmt.Errorf("run job %s done without a report", out.ID)
+	}
+	bench.RunMS = out.MS
+	bench.RunReliability = jv.Report.Empirical
+	bench.RunBinsIssued = jv.Report.BinsIssued
+	fmt.Fprintf(w, "  run job %-8s done in:       %8.2f ms  (reliability %.3f, %d bins)\n",
+		out.ID, bench.RunMS, bench.RunReliability, bench.RunBinsIssued)
+	return nil
+}
+
+// jobOutcome is one submitted job polled to Done: its id, round-trip
+// latency, and the final status body for caller-specific fields.
+type jobOutcome struct {
+	ID    string
+	MS    float64
+	Final []byte
+}
+
+// submitAndPollJob posts one job and polls it until Done, failing on any
+// other terminal state or on the deadline.
+func submitAndPollJob(base, body string, deadline time.Duration) (jobOutcome, error) {
 	start := time.Now()
 	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader([]byte(body)))
 	if err != nil {
-		return err
+		return jobOutcome{}, err
 	}
 	var st struct {
 		ID    string `json:"id"`
@@ -88,34 +166,47 @@ func smokeJob(w io.Writer, base, body string) error {
 	err = json.NewDecoder(resp.Body).Decode(&st)
 	resp.Body.Close()
 	if err != nil {
-		return err
+		return jobOutcome{}, err
 	}
 	if resp.StatusCode != http.StatusAccepted {
-		return fmt.Errorf("job submit: status %d", resp.StatusCode)
+		return jobOutcome{}, fmt.Errorf("job submit: status %d", resp.StatusCode)
 	}
-	deadline := time.Now().Add(30 * time.Second)
+	stop := time.Now().Add(deadline)
 	for {
 		r, err := http.Get(base + "/v1/jobs/" + st.ID)
 		if err != nil {
-			return err
+			return jobOutcome{}, err
 		}
-		err = json.NewDecoder(r.Body).Decode(&st)
+		raw, err := io.ReadAll(r.Body)
 		r.Body.Close()
 		if err != nil {
-			return err
+			return jobOutcome{}, err
+		}
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return jobOutcome{}, err
 		}
 		switch st.State {
 		case "done":
-			fmt.Fprintf(w, "  async job %-8s done in:     %8.2f ms\n", st.ID, time.Since(start).Seconds()*1e3)
-			return nil
+			return jobOutcome{ID: st.ID, MS: time.Since(start).Seconds() * 1e3, Final: raw}, nil
 		case "failed", "canceled":
-			return fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
+			return jobOutcome{}, fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("job %s stuck in %s", st.ID, st.State)
+		if time.Now().After(stop) {
+			return jobOutcome{}, fmt.Errorf("job %s stuck in %s", st.ID, st.State)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+}
+
+// smokeJob submits one async solve job, polls it to completion, and
+// returns the round-trip latency in milliseconds.
+func smokeJob(w io.Writer, base, body string) (float64, error) {
+	out, err := submitAndPollJob(base, body, 30*time.Second)
+	if err != nil {
+		return 0, err
+	}
+	fmt.Fprintf(w, "  async job %-8s done in:     %8.2f ms\n", out.ID, out.MS)
+	return out.MS, nil
 }
 
 // timedPost posts body and returns the request latency, failing on any

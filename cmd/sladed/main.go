@@ -1,8 +1,11 @@
 // Command sladed is the SLADE decomposition daemon: a long-running HTTP
 // service that decomposes large-scale crowdsourcing tasks on demand,
 // amortizing Optimal Priority Queue construction across requests,
-// sharding big instances over all CPU cores, and (with -data-dir)
-// persisting completed jobs and the OPQ cache so a restart loses nothing.
+// sharding big instances over all CPU cores, executing plans end to end
+// against a simulated crowd platform ("kind":"run" jobs, reported with
+// achieved reliability and itemized spend), and (with -data-dir)
+// persisting completed jobs — execution reports included — and the OPQ
+// cache so a restart loses nothing.
 //
 // Usage:
 //

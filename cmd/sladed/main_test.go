@@ -206,6 +206,113 @@ func TestRestartRecovery(t *testing.T) {
 	}
 }
 
+// TestRunJobRestartRecovery is the executor-backed acceptance test: a
+// daemon killed after N completed run jobs must, on warm boot, serve all
+// N execution reports verbatim with zero re-executions (the run counters
+// stay at zero — reports are replayed from the store, never re-run).
+func TestRunJobRestartRecovery(t *testing.T) {
+	dataDir := t.TempDir()
+	cfg := daemonConfig{
+		service: slade.ServiceConfig{CacheSize: 16, Workers: 2},
+		dataDir: dataDir,
+	}
+	const numJobs = 3
+
+	type report struct {
+		Platform   string  `json:"platform"`
+		Seed       int64   `json:"seed"`
+		Spent      float64 `json:"spent"`
+		BinsIssued int     `json:"bins_issued"`
+		Covered    int     `json:"covered_tasks"`
+		Empirical  float64 `json:"empirical_reliability"`
+	}
+	type jobView struct {
+		State  string  `json:"state"`
+		Kind   string  `json:"kind"`
+		Report *report `json:"report"`
+	}
+
+	// First life: run numJobs "kind":"run" jobs to completion.
+	base, shutdown := startDaemon(t, cfg)
+	firstReports := make(map[string]report, numJobs)
+	ids := make([]string, 0, numJobs)
+	for i := 0; i < numJobs; i++ {
+		body := fmt.Sprintf(`{"kind":"run",
+			"bins":[{"cardinality":1,"confidence":0.9,"cost":0.1},
+				{"cardinality":2,"confidence":0.85,"cost":0.18}],
+			"n":%d,"threshold":0.9,
+			"run":{"platform":"jelly","seed":%d}}`, 40+10*i, 100+i)
+		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			ID string `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted || st.ID == "" {
+			t.Fatalf("submit run job: %d %+v", resp.StatusCode, st)
+		}
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		waitJobDone(t, base, id)
+		var jv jobView
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if jv.Report == nil || jv.Report.BinsIssued == 0 {
+			t.Fatalf("job %s finished without a report: %+v", id, jv)
+		}
+		firstReports[id] = *jv.Report
+	}
+	shutdown()
+
+	// Second life: every report is served verbatim, nothing re-executes.
+	base, shutdown = startDaemon(t, cfg)
+	defer shutdown()
+	for _, id := range ids {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jv jobView
+		if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || jv.State != "done" || jv.Kind != "run" {
+			t.Fatalf("job %s after restart: %d %+v", id, resp.StatusCode, jv)
+		}
+		if jv.Report == nil || *jv.Report != firstReports[id] {
+			t.Fatalf("job %s report changed across restart:\nbefore %+v\nafter  %+v", id, firstReports[id], jv.Report)
+		}
+	}
+	sresp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st slade.ServiceStats
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if st.Jobs.Recovered != numJobs {
+		t.Fatalf("want %d recovered run jobs, got %d", numJobs, st.Jobs.Recovered)
+	}
+	if st.Jobs.Runs != 0 || st.Jobs.RunBinsIssued != 0 {
+		t.Fatalf("warm boot re-executed run jobs: %+v", st.Jobs)
+	}
+}
+
 // startDaemon boots serve on an ephemeral port and returns the base URL
 // and a shutdown func that waits for a clean exit.
 func startDaemon(t *testing.T, cfg daemonConfig) (string, func()) {

@@ -4,15 +4,22 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 )
 
 // Platform simulates one crowdsourcing marketplace for a given task model.
-// It is deterministic for a fixed seed.
+// It is deterministic for a fixed seed: a sequence of RunBin/Probe calls
+// replays identically across processes, which is what lets the serving
+// layer promise reproducible run jobs. All methods are safe for concurrent
+// use — a mutex serializes RNG draws — but determinism holds only for a
+// sequential call order (concurrent callers interleave draws); callers
+// that need reproducibility give each execution its own seeded Platform.
 type Platform struct {
 	params Params
+	mu     sync.Mutex // guards rng
 	rng    *rand.Rand
 }
 
@@ -94,6 +101,8 @@ type BinOutcome struct {
 // answers each task independently with the model confidence, and the
 // completion time is drawn from the lognormal market model.
 func (pl *Platform) RunBin(cardinality int, pay float64, difficulty int, truth []bool) BinOutcome {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
 	if len(truth) > cardinality {
 		truth = truth[:cardinality]
 	}
@@ -219,9 +228,11 @@ func (pl *Platform) Probe(cardinality int, pay float64, difficulty, assignments 
 	correct, answered, overtime := 0, 0, 0
 	for a := 0; a < assignments; a++ {
 		truth := make([]bool, cardinality)
+		pl.mu.Lock()
 		for i := range truth {
 			truth[i] = pl.rng.Float64() < 0.5
 		}
+		pl.mu.Unlock()
 		out := pl.RunBin(cardinality, pay, difficulty, truth)
 		if out.Overtime {
 			overtime++

@@ -2,6 +2,7 @@ package crowdsim
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"time"
 
@@ -250,4 +251,43 @@ func TestDeterministicForSeed(t *testing.T) {
 	if a.MeanConfidence != b.MeanConfidence || a.OvertimeRate != b.OvertimeRate {
 		t.Error("same seed produced different probe results")
 	}
+}
+
+// TestRunBinReplaysIdentically is the reproducibility contract run jobs
+// rely on: two platforms with the same seed replay an identical sequence
+// of bin outcomes, answer by answer.
+func TestRunBinReplaysIdentically(t *testing.T) {
+	a, b := New(Jelly(), 99), New(Jelly(), 99)
+	truth := []bool{true, false, true, true, false}
+	for i := 0; i < 50; i++ {
+		oa := a.RunBin(5, 0.08, DefaultDifficulty, truth)
+		ob := b.RunBin(5, 0.08, DefaultDifficulty, truth)
+		if oa.Duration != ob.Duration || oa.Overtime != ob.Overtime {
+			t.Fatalf("call %d: durations diverged: %v vs %v", i, oa.Duration, ob.Duration)
+		}
+		for j := range oa.Answers {
+			if oa.Answers[j] != ob.Answers[j] {
+				t.Fatalf("call %d answer %d diverged", i, j)
+			}
+		}
+	}
+}
+
+// TestPlatformConcurrentUse drives RunBin and Probe from many goroutines;
+// the -race CI job turns any unguarded RNG access into a failure.
+func TestPlatformConcurrentUse(t *testing.T) {
+	pl := New(Jelly(), 5)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			truth := []bool{true, false, true}
+			for i := 0; i < 30; i++ {
+				pl.RunBin(3, 0.1, DefaultDifficulty, truth)
+			}
+			pl.Probe(3, 0.1, DefaultDifficulty, 5)
+		}()
+	}
+	wg.Wait()
 }

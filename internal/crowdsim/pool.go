@@ -212,6 +212,19 @@ func (p *Pool) EmpiricalConfidence(cardinality int, pay float64, difficulty, bin
 	return float64(correct) / float64(total)
 }
 
+// PoolRunner adapts a Pool to the single-outcome RunBin signature shared
+// with Platform (the shape internal/executor consumes): the worker id is
+// dropped, the outcome kept. Bins are still routed through the pool's
+// persistent population, so skill spread, spammers and qualification bans
+// all shape the execution.
+type PoolRunner struct{ Pool *Pool }
+
+// RunBin hands the bin to a random active worker and returns its outcome.
+func (r PoolRunner) RunBin(cardinality int, pay float64, difficulty int, truth []bool) BinOutcome {
+	out, _ := r.Pool.RunBin(cardinality, pay, difficulty, truth)
+	return out
+}
+
 // TopWorkers returns the ids of the k active workers with the best probe
 // accuracy (ties broken by id), for preferential routing.
 func (p *Pool) TopWorkers(k int) []int {

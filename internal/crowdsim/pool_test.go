@@ -113,6 +113,33 @@ func TestQualifyBanningEveryoneErrors(t *testing.T) {
 	}
 }
 
+// TestPoolRunnerAdaptsPool: the adapter issues through the pool (workers
+// accumulate completions) and replays deterministically for a fixed seed.
+func TestPoolRunnerAdaptsPool(t *testing.T) {
+	mk := func() PoolRunner {
+		return PoolRunner{Pool: testPool(t, PoolConfig{Size: 20, SkillSigma: 0.02}, 7)}
+	}
+	a, b := mk(), mk()
+	truth := []bool{true, false}
+	for i := 0; i < 25; i++ {
+		oa, ob := a.RunBin(2, 0.18, DefaultDifficulty, truth), b.RunBin(2, 0.18, DefaultDifficulty, truth)
+		if oa.Duration != ob.Duration || oa.Answers[0] != ob.Answers[0] || oa.Answers[1] != ob.Answers[1] {
+			t.Fatalf("call %d: pooled outcomes diverged", i)
+		}
+	}
+	completed := 0
+	for id := 0; id < a.Pool.Size(); id++ {
+		w, err := a.Pool.Worker(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		completed += w.Completed
+	}
+	if completed != 25 {
+		t.Fatalf("pool completed %d bins, want 25", completed)
+	}
+}
+
 func TestTopWorkers(t *testing.T) {
 	p := testPool(t, PoolConfig{Size: 50, SkillSigma: 0.05, SpammerFraction: 0.2}, 6)
 	if got := p.TopWorkers(5); len(got) != 0 {

@@ -11,6 +11,7 @@
 package executor
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -19,10 +20,20 @@ import (
 	"repro/internal/greedy"
 )
 
+// BinRunner executes one bin against a crowd and is the executor's only
+// view of the marketplace: crowdsim.Platform satisfies it directly
+// (anonymous per-bin workers) and crowdsim.PoolRunner routes bins through
+// a persistent worker population. A BinRunner need not be safe for
+// concurrent use; the executor issues bins sequentially.
+type BinRunner interface {
+	RunBin(cardinality int, pay float64, difficulty int, truth []bool) crowdsim.BinOutcome
+}
+
 // Options configures an execution.
 type Options struct {
 	// MaxRetries re-issues an overtime bin up to this many times before
-	// giving up on it (default 2).
+	// giving up on it. Zero selects the default (2); a negative value
+	// disables retries entirely.
 	MaxRetries int
 	// Difficulty is the task difficulty level presented to workers
 	// (default crowdsim.DefaultDifficulty).
@@ -33,20 +44,30 @@ type Options struct {
 	// and the uncovered remainder is re-decomposed with Greedy and
 	// executed, up to MaxTopUps rounds.
 	TopUp bool
-	// MaxTopUps bounds the number of top-up rounds (default 2).
+	// MaxTopUps bounds the number of top-up rounds. Zero selects the
+	// default (2); a negative value disables top-ups even with TopUp set.
 	MaxTopUps int
 }
 
-// withDefaults fills unset fields.
+// withDefaults fills unset fields. Zero means "default" for the budget
+// fields, so "explicitly none" is spelled with a negative value — before
+// this rule, Options{MaxRetries: 0} silently re-issued bins twice and a
+// zero-retry execution was impossible to request.
 func (o Options) withDefaults() Options {
-	if o.MaxRetries == 0 {
+	switch {
+	case o.MaxRetries == 0:
 		o.MaxRetries = 2
+	case o.MaxRetries < 0:
+		o.MaxRetries = 0
 	}
 	if o.Difficulty == 0 {
 		o.Difficulty = crowdsim.DefaultDifficulty
 	}
-	if o.MaxTopUps == 0 {
+	switch {
+	case o.MaxTopUps == 0:
 		o.MaxTopUps = 2
+	case o.MaxTopUps < 0:
+		o.MaxTopUps = 0
 	}
 	return o
 }
@@ -83,6 +104,16 @@ type Report struct {
 // ground-truth label per task (used to measure empirical reliability, as
 // the paper's testing bins do).
 func Execute(pl *crowdsim.Platform, in *core.Instance, plan *core.Plan, truth []bool, opts Options) (*Report, error) {
+	return ExecuteContext(context.Background(), pl, in, plan, truth, opts)
+}
+
+// ExecuteContext is Execute against any BinRunner, with cooperative
+// cancellation: the context is observed before every bin issue (including
+// each retry attempt and each top-up round), so canceling mid-flight stops
+// the execution at the next bin boundary instead of running the plan to
+// completion. A canceled execution returns ctx.Err(); money already spent
+// on issued bins is spent — the partial report is discarded.
+func ExecuteContext(ctx context.Context, r BinRunner, in *core.Instance, plan *core.Plan, truth []bool, opts Options) (*Report, error) {
 	o := opts.withDefaults()
 	if len(truth) != in.N() {
 		return nil, fmt.Errorf("executor: truth has %d entries for %d tasks", len(truth), in.N())
@@ -97,11 +128,14 @@ func Execute(pl *crowdsim.Platform, in *core.Instance, plan *core.Plan, truth []
 		return nil, err
 	}
 
-	if err := runUses(pl, in, plan.Uses, truth, o, rep); err != nil {
+	if err := runUses(ctx, r, in, plan.Uses, truth, o, rep); err != nil {
 		return nil, err
 	}
 
 	for round := 0; o.TopUp && round < o.MaxTopUps; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		fix, err := topUpPlan(in, rep.DeliveredMass)
 		if err != nil {
 			return nil, err
@@ -110,7 +144,7 @@ func Execute(pl *crowdsim.Platform, in *core.Instance, plan *core.Plan, truth []
 			break
 		}
 		rep.TopUpRounds++
-		if err := runUses(pl, in, fix.Uses, truth, o, rep); err != nil {
+		if err := runUses(ctx, r, in, fix.Uses, truth, o, rep); err != nil {
 			return nil, err
 		}
 	}
@@ -133,8 +167,9 @@ func Execute(pl *crowdsim.Platform, in *core.Instance, plan *core.Plan, truth []
 }
 
 // runUses issues each bin use (with retries on overtime) and accumulates
-// detections, delivered mass and spend into the report.
-func runUses(pl *crowdsim.Platform, in *core.Instance, uses []core.BinUse, truth []bool, o Options, rep *Report) error {
+// detections, delivered mass and spend into the report. The context is
+// checked before every issue so a cancel never pays for another bin.
+func runUses(ctx context.Context, r BinRunner, in *core.Instance, uses []core.BinUse, truth []bool, o Options, rep *Report) error {
 	for _, u := range uses {
 		bin, ok := in.Bins().ByCardinality(u.Cardinality)
 		if !ok {
@@ -149,9 +184,12 @@ func runUses(pl *crowdsim.Platform, in *core.Instance, uses []core.BinUse, truth
 		}
 		completed := false
 		for attempt := 0; attempt <= o.MaxRetries; attempt++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			rep.BinsIssued++
 			rep.Spent += bin.Cost
-			out := pl.RunBin(bin.Cardinality, bin.Cost, o.Difficulty, binTruth)
+			out := r.RunBin(bin.Cardinality, bin.Cost, o.Difficulty, binTruth)
 			if out.Duration > rep.MakeSpan {
 				rep.MakeSpan = out.Duration
 			}

@@ -1,8 +1,11 @@
 package executor
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/binset"
 	"repro/internal/core"
@@ -10,6 +13,33 @@ import (
 	"repro/internal/hetero"
 	"repro/internal/opq"
 )
+
+// scriptedRunner is a deterministic BinRunner for unit tests: every bin
+// completes in one second with all-correct answers (or goes overtime when
+// overtime is set), and onCall observes each issue.
+type scriptedRunner struct {
+	calls    int
+	overtime bool
+	onCall   func(call int)
+}
+
+func (r *scriptedRunner) RunBin(cardinality int, pay float64, difficulty int, truth []bool) crowdsim.BinOutcome {
+	r.calls++
+	if r.onCall != nil {
+		r.onCall(r.calls)
+	}
+	out := crowdsim.BinOutcome{
+		Answers:  make([]bool, len(truth)),
+		Correct:  make([]bool, len(truth)),
+		Duration: time.Second,
+		Overtime: r.overtime,
+	}
+	copy(out.Answers, truth)
+	for i := range out.Correct {
+		out.Correct[i] = true
+	}
+	return out
+}
 
 func jellyEnv(t *testing.T, n int, threshold float64, seed int64) (*crowdsim.Platform, *core.Instance, *core.Plan, []bool) {
 	t.Helper()
@@ -170,6 +200,73 @@ func TestExecuteHeterogeneousPlan(t *testing.T) {
 	}
 	if rep.EmpiricalReliability < 0.75 {
 		t.Errorf("reliability %v unreasonably low", rep.EmpiricalReliability)
+	}
+}
+
+// TestExecuteContextCancelBetweenRetries is the cancellation contract: a
+// context canceled mid-execution stops the run at the next bin boundary —
+// between retry attempts included — instead of running the plan out.
+func TestExecuteContextCancelBetweenRetries(t *testing.T) {
+	_, in, plan, truth := jellyEnv(t, 400, 0.95, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	const cancelAt = 3
+	r := &scriptedRunner{overtime: true, onCall: func(call int) {
+		if call == cancelAt {
+			cancel() // cancel while this bin's retries still have budget
+		}
+	}}
+	_, err := ExecuteContext(ctx, r, in, plan, truth, Options{MaxRetries: 5})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if r.calls != cancelAt {
+		t.Fatalf("issued %d bins after cancel at call %d", r.calls, cancelAt)
+	}
+	if r.calls >= plan.NumUses() {
+		t.Fatalf("test needs a plan longer than the cancel point (%d uses)", plan.NumUses())
+	}
+}
+
+// TestExecuteContextPreCanceled: an already-canceled context never pays
+// for a single bin.
+func TestExecuteContextPreCanceled(t *testing.T) {
+	_, in, plan, truth := jellyEnv(t, 50, 0.9, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := &scriptedRunner{}
+	if _, err := ExecuteContext(ctx, r, in, plan, truth, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if r.calls != 0 {
+		t.Fatalf("pre-canceled execution issued %d bins", r.calls)
+	}
+}
+
+// TestOptionsExplicitZeroBudgets: negative MaxRetries/MaxTopUps mean
+// "none" — before the sentinel, zero silently selected the default and a
+// retry-free execution was impossible to request.
+func TestOptionsExplicitZeroBudgets(t *testing.T) {
+	_, in, plan, truth := jellyEnv(t, 100, 0.9, 4)
+	r := &scriptedRunner{overtime: true}
+	rep, err := ExecuteContext(context.Background(), r, in, plan, truth,
+		Options{MaxRetries: -1, TopUp: true, MaxTopUps: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BinsIssued != plan.NumUses() {
+		t.Fatalf("no-retry run issued %d bins for %d uses", rep.BinsIssued, plan.NumUses())
+	}
+	if rep.AbandonedBins != plan.NumUses() {
+		t.Fatalf("all-overtime bins must be abandoned without retries: %d/%d", rep.AbandonedBins, plan.NumUses())
+	}
+	if rep.TopUpRounds != 0 {
+		t.Fatalf("MaxTopUps -1 ran %d top-up rounds", rep.TopUpRounds)
+	}
+
+	// Zero still selects the defaults.
+	o := Options{}.withDefaults()
+	if o.MaxRetries != 2 || o.MaxTopUps != 2 {
+		t.Fatalf("zero-value defaults: %+v", o)
 	}
 }
 

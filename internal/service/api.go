@@ -18,9 +18,9 @@ const MaxRequestBytes = 64 << 20
 // NewHandler returns the service's HTTP API:
 //
 //	POST   /v1/decompose        synchronous decomposition
-//	POST   /v1/jobs             submit an async job (solve or stream)
+//	POST   /v1/jobs             submit an async job (solve, stream or run)
 //	GET    /v1/jobs/{id}        job status (+ result plan with ?include_plan=true)
-//	DELETE /v1/jobs/{id}        cancel a pending or running job
+//	DELETE /v1/jobs/{id}        cancel a pending or running job (aborts a run mid-flight)
 //	POST   /v1/admin/snapshot   persist the OPQ cache to the durable store
 //	GET    /v1/healthz          liveness probe
 //	GET    /v1/stats            request / cache / job / persistence counters
@@ -137,12 +137,16 @@ func handleDecompose(s *Service, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// jobRequest is the POST /v1/jobs body. Type selects the payload: "solve"
-// (default) uses the instance fields, "stream" the stream field.
+// jobRequest is the POST /v1/jobs body. Kind selects the payload: "solve"
+// (default) uses the instance fields, "stream" the stream field, "run"
+// the instance fields plus the optional run field. Type is the
+// pre-run-jobs name of the same discriminator, kept for compatibility.
 type jobRequest struct {
+	Kind string `json:"kind,omitempty"`
 	Type string `json:"type,omitempty"`
 	decomposeRequest
 	Stream *streamRequest `json:"stream,omitempty"`
+	Run    *runRequest    `json:"run,omitempty"`
 }
 
 // streamRequest is the wire form of a streaming-arrival job.
@@ -152,14 +156,80 @@ type streamRequest struct {
 	Batches   [][]int        `json:"batches"`
 }
 
+// runRequest is the wire form of a run job's execution spec. Every field
+// is optional: the zero value runs on the Jelly platform at seed 0 with
+// the executor's default budgets and top-ups enabled.
+type runRequest struct {
+	// Platform model ("jelly" default, "smic") and its RNG seed.
+	Platform string `json:"platform,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+	// PoolSize > 0 routes bins through a persistent worker population
+	// (capped at MaxPoolSize); SpammerFraction and SkillSigma tune it —
+	// zero keeps the defaults, negative means explicitly zero.
+	PoolSize        int     `json:"pool_size,omitempty"`
+	SpammerFraction float64 `json:"spammer_fraction,omitempty"`
+	SkillSigma      float64 `json:"skill_sigma,omitempty"`
+	// Executor budgets: zero selects the defaults (2 retries, 2 top-up
+	// rounds, difficulty 2); negative retries/top-ups mean explicitly none.
+	Difficulty int   `json:"difficulty,omitempty"`
+	MaxRetries int   `json:"max_retries,omitempty"`
+	TopUp      *bool `json:"top_up,omitempty"` // default true
+	MaxTopUps  int   `json:"max_top_ups,omitempty"`
+	// Ground truth: an explicit per-task label vector, or a positive rate
+	// to draw labels from (zero selects the default rate, negative means
+	// no positives).
+	Truth        []bool  `json:"truth,omitempty"`
+	PositiveRate float64 `json:"positive_rate,omitempty"`
+}
+
+// runJob converts the wire form for the instance.
+func (rr *runRequest) runJob(in *core.Instance) *RunJob {
+	rj := &RunJob{
+		Instance: in,
+		Platform: PlatformSpec{
+			Model:           rr.Platform,
+			Seed:            rr.Seed,
+			PoolSize:        rr.PoolSize,
+			SpammerFraction: rr.SpammerFraction,
+			SkillSigma:      rr.SkillSigma,
+		},
+		Truth:        rr.Truth,
+		PositiveRate: rr.PositiveRate,
+	}
+	rj.Options.Difficulty = rr.Difficulty
+	rj.Options.MaxRetries = rr.MaxRetries
+	rj.Options.MaxTopUps = rr.MaxTopUps
+	rj.Options.TopUp = rr.TopUp == nil || *rr.TopUp
+	return rj
+}
+
 func handleSubmitJob(s *Service, w http.ResponseWriter, r *http.Request) {
 	var req jobRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	kind := req.Kind
+	switch {
+	case kind == "":
+		kind = req.Type
+	case req.Type != "" && req.Type != kind:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("kind %q and type %q disagree", kind, req.Type))
+		return
+	}
+	// A payload the kind does not consume is a client mistake (likely a
+	// kind typo); executing something other than what the body describes
+	// would be worse than rejecting it.
+	if req.Stream != nil && kind != KindStream {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("stream payload needs kind %q", KindStream))
+		return
+	}
+	if req.Run != nil && kind != KindRun {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("run payload needs kind %q", KindRun))
+		return
+	}
 	var jr JobRequest
-	switch req.Type {
-	case "stream":
+	switch kind {
+	case KindStream:
 		if req.Stream == nil {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("stream job missing stream payload"))
 			return
@@ -174,7 +244,19 @@ func handleSubmitJob(s *Service, w http.ResponseWriter, r *http.Request) {
 		// jobs always plan with the stream planner, and silently ignoring
 		// a requested solver would misattribute the results.
 		jr.Solver = req.Solver
-	case "", "solve":
+	case KindRun:
+		in, err := req.instance()
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		rr := req.Run
+		if rr == nil {
+			rr = &runRequest{} // a bare run job: all defaults
+		}
+		jr.Run = rr.runJob(in)
+		jr.Solver = req.Solver
+	case "", KindSolve:
 		in, err := req.instance()
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
@@ -183,7 +265,7 @@ func handleSubmitJob(s *Service, w http.ResponseWriter, r *http.Request) {
 		jr.Instance = in
 		jr.Solver = req.Solver
 	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown job type %q", req.Type))
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown job kind %q", kind))
 		return
 	}
 	id, err := s.Jobs().Submit(jr)

@@ -261,6 +261,84 @@ func TestHTTPStreamJobRejectsSolverAndDuplicates(t *testing.T) {
 	}
 }
 
+// TestHTTPRunJob drives the "kind":"run" wire path end to end: submit,
+// poll to done, and read the execution report (and plan) back.
+func TestHTTPRunJob(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := fmt.Sprintf(`{"kind":"run","bins":%s,"n":80,"threshold":0.9,
+		"run":{"platform":"jelly","seed":9,"positive_rate":0.4}}`, table1JSON)
+	resp, raw := postJSON(t, ts.URL+"/v1/jobs", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, raw)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != KindRun {
+		t.Fatalf("submitted kind %q", st.Kind)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	var final jobStatusResponse
+	for {
+		if getJSON(t, ts.URL+"/v1/jobs/"+st.ID+"?include_plan=true", &final); final.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run job stuck in %s", final.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if final.State != JobDone {
+		t.Fatalf("run job settled %s: %s", final.State, final.Error)
+	}
+	rep := final.Report
+	if rep == nil || rep.Platform != "jelly" || rep.Seed != 9 || rep.Tasks != 80 {
+		t.Fatalf("served report: %+v", rep)
+	}
+	if rep.Spent <= 0 || rep.BinsIssued <= 0 {
+		t.Fatalf("empty execution: %+v", rep)
+	}
+	if len(final.Plan) == 0 || final.Summary == nil {
+		t.Fatalf("run job response missing plan/summary: %+v", final)
+	}
+
+	// The execution counters surface in /v1/stats.
+	var stats Stats
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.Jobs.Runs != 1 || stats.Jobs.RunBinsIssued != uint64(rep.BinsIssued) {
+		t.Fatalf("run counters: %+v", stats.Jobs)
+	}
+}
+
+// TestHTTPRunJobKindAliasesAndErrors: "type" still works as the
+// discriminator, disagreement is rejected, and a run payload on a solve
+// job is an error rather than silently dropped.
+func TestHTTPRunJobKindAliasesAndErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	ok := fmt.Sprintf(`{"type":"run","bins":%s,"n":10,"threshold":0.9}`, table1JSON)
+	if resp, raw := postJSON(t, ts.URL+"/v1/jobs", ok); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("type alias: status %d (%s)", resp.StatusCode, raw)
+	}
+	for name, body := range map[string]string{
+		"kind/type disagree":   fmt.Sprintf(`{"kind":"run","type":"solve","bins":%s,"n":10,"threshold":0.9}`, table1JSON),
+		"unknown kind":         fmt.Sprintf(`{"kind":"warp","bins":%s,"n":10,"threshold":0.9}`, table1JSON),
+		"run payload on solve": fmt.Sprintf(`{"bins":%s,"n":10,"threshold":0.9,"run":{"seed":1}}`, table1JSON),
+		"stream payload on run": fmt.Sprintf(`{"kind":"run","bins":%s,"n":10,"threshold":0.9,
+			"stream":{"bins":%s,"threshold":0.9,"batches":[[0]]}}`, table1JSON, table1JSON),
+		"oversized pool": fmt.Sprintf(`{"kind":"run","bins":%s,"n":10,"threshold":0.9,
+			"run":{"pool_size":1000001}}`, table1JSON),
+		"bad platform model": fmt.Sprintf(`{"kind":"run","bins":%s,"n":10,"threshold":0.9,"run":{"platform":"x"}}`, table1JSON),
+		"bad truth length":   fmt.Sprintf(`{"kind":"run","bins":%s,"n":10,"threshold":0.9,"run":{"truth":[true]}}`, table1JSON),
+	} {
+		resp, raw := postJSON(t, ts.URL+"/v1/jobs", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d want 400 (%s)", name, resp.StatusCode, raw)
+		}
+	}
+}
+
 func TestHTTPHealthzAndStats(t *testing.T) {
 	_, ts := newTestServer(t)
 	var hz map[string]string

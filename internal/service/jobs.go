@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/executor"
 	"repro/internal/store"
 	"repro/internal/stream"
 )
@@ -39,18 +40,29 @@ func (s JobState) Terminal() bool {
 	return s == JobDone || s == JobFailed || s == JobCanceled
 }
 
-// JobRequest describes one asynchronous decomposition. Exactly one of
-// Instance or Stream must be set.
+// Job kinds: a solve job plans, a stream job plans batched arrivals, a
+// run job plans and then executes the plan on a simulated platform.
+const (
+	KindSolve  = "solve"
+	KindStream = "stream"
+	KindRun    = "run"
+)
+
+// JobRequest describes one asynchronous job. Exactly one of Instance,
+// Stream or Run must be set.
 type JobRequest struct {
 	// Instance is a one-shot problem solved with the named Solver.
 	Instance *core.Instance
 	// Solver names a registered solver; empty selects the service default
-	// (the cached, sharded OPQ path).
+	// (the cached, sharded OPQ path). For run jobs it names the planner.
 	Solver string
 	// Stream routes batched arrivals through a stream.Planner: each batch
 	// is planned incrementally at optimal block granularity and the
 	// remainder is flushed once at the end.
 	Stream *StreamJob
+	// Run plans an instance and executes the plan against a simulated
+	// platform, producing an ExecutionReport.
+	Run *RunJob
 }
 
 // StreamJob is the streaming-arrival job payload.
@@ -66,6 +78,7 @@ type StreamJob struct {
 // JobStatus is an externally visible job snapshot.
 type JobStatus struct {
 	ID        string    `json:"id"`
+	Kind      string    `json:"kind"`
 	State     JobState  `json:"state"`
 	Solver    string    `json:"solver"`
 	Submitted time.Time `json:"submitted"`
@@ -75,15 +88,21 @@ type JobStatus struct {
 	Error string `json:"error,omitempty"`
 	// Summary describes the result plan of a JobDone job.
 	Summary *PlanSummary `json:"summary,omitempty"`
+	// Report is the execution outcome of a JobDone run job.
+	Report *ExecutionReport `json:"report,omitempty"`
 }
 
 // job is the manager's internal record.
 type job struct {
 	id     string
+	kind   string
 	req    JobRequest
 	state  JobState
 	solver string
 	cancel context.CancelFunc
+	// runner is the platform a run job executes against, built at submit
+	// (so an unknown model rejects synchronously) and dropped at settle.
+	runner executor.BinRunner
 
 	submitted time.Time
 	started   time.Time
@@ -91,6 +110,7 @@ type job struct {
 
 	plan    *core.Plan
 	summary *PlanSummary
+	report  *ExecutionReport
 	err     error
 }
 
@@ -112,6 +132,9 @@ type JobManager struct {
 	// finish; zero keeps them until EvictJob.
 	ttl    time.Duration
 	logger *log.Logger
+	// platform builds run-job runners; never nil (defaults to the
+	// crowdsim-backed factory).
+	platform PlatformFactory
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -124,6 +147,10 @@ type JobManager struct {
 	counts struct {
 		submitted, done, failed, canceled uint64
 		persisted, recovered, expired     uint64
+		// Run-execution aggregates, counted only for runs executed by
+		// this process (recovered reports never re-execute).
+		runs, runBins, runTopUps uint64
+		runSpend                 float64
 	}
 
 	// persistWG tracks in-flight spills to the store so close can wait
@@ -139,20 +166,24 @@ type JobManager struct {
 // newJobManager wires a manager to its owning service, replays any jobs
 // the store holds from previous processes, and starts the TTL janitor
 // when a positive ttl is configured.
-func newJobManager(svc *Service, maxConcurrent int, st store.Store, ttl time.Duration, logger *log.Logger) *JobManager {
+func newJobManager(svc *Service, maxConcurrent int, st store.Store, ttl time.Duration, logger *log.Logger, platform PlatformFactory) *JobManager {
 	if maxConcurrent <= 0 {
 		maxConcurrent = 1
 	}
 	if logger == nil {
 		logger = log.Default()
 	}
+	if platform == nil {
+		platform = defaultPlatformFactory
+	}
 	m := &JobManager{
-		svc:    svc,
-		store:  st,
-		ttl:    ttl,
-		logger: logger,
-		jobs:   make(map[string]*job),
-		slots:  make(chan struct{}, maxConcurrent),
+		svc:      svc,
+		store:    st,
+		ttl:      ttl,
+		logger:   logger,
+		platform: platform,
+		jobs:     make(map[string]*job),
+		slots:    make(chan struct{}, maxConcurrent),
 	}
 	m.replay()
 	if ttl > 0 {
@@ -226,11 +257,21 @@ func jobFromRecord(rec store.JobRecord) (*job, error) {
 	}
 	j := &job{
 		id:        rec.ID,
+		kind:      rec.Kind,
 		state:     state,
 		solver:    rec.Solver,
 		submitted: rec.Submitted,
 		started:   rec.Started,
 		finished:  rec.Finished,
+	}
+	if j.kind == "" {
+		// Version-1 records carry no kind; stream jobs are recognizable
+		// from their reserved solver name, everything else was a solve.
+		if j.solver == "stream" {
+			j.kind = KindStream
+		} else {
+			j.kind = KindSolve
+		}
 	}
 	if rec.Error != "" {
 		j.err = errors.New(rec.Error)
@@ -249,8 +290,18 @@ func jobFromRecord(rec store.JobRecord) (*job, error) {
 		}
 		j.summary = &sum
 	}
+	if len(rec.Report) > 0 {
+		var rep ExecutionReport
+		if err := json.Unmarshal(rec.Report, &rep); err != nil {
+			return nil, fmt.Errorf("decoding execution report: %w", err)
+		}
+		j.report = &rep
+	}
 	if state == JobDone && j.plan == nil {
 		return nil, fmt.Errorf("done record without a plan")
+	}
+	if state == JobDone && j.kind == KindRun && j.report == nil {
+		return nil, fmt.Errorf("done run record without an execution report")
 	}
 	return j, nil
 }
@@ -260,6 +311,7 @@ func recordFromJob(j *job) (store.JobRecord, error) {
 	rec := store.JobRecord{
 		Version:   store.RecordVersion,
 		ID:        j.id,
+		Kind:      j.kind,
 		State:     string(j.state),
 		Solver:    j.solver,
 		Submitted: j.submitted,
@@ -282,6 +334,13 @@ func recordFromJob(j *job) (store.JobRecord, error) {
 			return store.JobRecord{}, err
 		}
 		rec.Summary = data
+	}
+	if j.report != nil {
+		data, err := json.Marshal(j.report)
+		if err != nil {
+			return store.JobRecord{}, err
+		}
+		rec.Report = data
 	}
 	return rec, nil
 }
@@ -386,13 +445,44 @@ func (m *JobManager) close() {
 
 // Submit registers the request and starts it asynchronously, returning the
 // job id immediately. Safe for concurrent use; the request (including the
-// instance and stream payload) must not be mutated after Submit returns.
+// instance, stream and run payloads) must not be mutated after Submit
+// returns.
 func (m *JobManager) Submit(req JobRequest) (string, error) {
-	if (req.Instance == nil) == (req.Stream == nil) {
-		return "", fmt.Errorf("service: job needs exactly one of instance or stream")
+	payloads := 0
+	for _, set := range []bool{req.Instance != nil, req.Stream != nil, req.Run != nil} {
+		if set {
+			payloads++
+		}
 	}
+	if payloads != 1 {
+		return "", fmt.Errorf("service: job needs exactly one of instance, stream or run")
+	}
+	kind := KindSolve
 	solver := req.Solver
+	var runner executor.BinRunner
+	// Solve and run jobs plan with a registered solver; resolve it once.
+	if req.Instance != nil || req.Run != nil {
+		if solver == "" {
+			solver = DefaultSolverName
+		}
+		if _, err := m.svc.solver(solver); err != nil {
+			return "", err
+		}
+	}
+	if req.Run != nil {
+		kind = KindRun
+		if err := req.Run.validate(); err != nil {
+			return "", err
+		}
+		// Build the platform now so an unknown model or a bad pool config
+		// rejects the submission instead of failing the job later.
+		var err error
+		if runner, err = m.platform(req.Run.Platform); err != nil {
+			return "", err
+		}
+	}
 	if req.Stream != nil {
+		kind = KindStream
 		if solver != "" {
 			return "", fmt.Errorf("service: stream jobs use the stream planner; solver %q not applicable", solver)
 		}
@@ -418,13 +508,6 @@ func (m *JobManager) Submit(req JobRequest) (string, error) {
 				seen[id] = struct{}{}
 			}
 		}
-	} else {
-		if solver == "" {
-			solver = DefaultSolverName
-		}
-		if _, err := m.svc.solver(solver); err != nil {
-			return "", err
-		}
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -432,10 +515,12 @@ func (m *JobManager) Submit(req JobRequest) (string, error) {
 	m.nextID++
 	j := &job{
 		id:        fmt.Sprintf("job-%d", m.nextID),
+		kind:      kind,
 		req:       req,
 		state:     JobPending,
 		solver:    solver,
 		cancel:    cancel,
+		runner:    runner,
 		submitted: time.Now(),
 	}
 	m.jobs[j.id] = j
@@ -454,7 +539,7 @@ func (m *JobManager) run(ctx context.Context, j *job) {
 	case m.slots <- struct{}{}:
 		defer func() { <-m.slots }()
 	case <-ctx.Done():
-		m.settle(j, nil, ctx.Err())
+		m.settle(j, nil, nil, ctx.Err())
 		return
 	}
 
@@ -467,21 +552,27 @@ func (m *JobManager) run(ctx context.Context, j *job) {
 	j.started = time.Now()
 	m.mu.Unlock()
 
-	plan, err := m.execute(ctx, j)
+	plan, report, err := m.execute(ctx, j)
 	if err == nil && ctx.Err() != nil {
 		// A context-unaware solver ran to completion despite a cancel; the
 		// cancel still wins, so the job settles Canceled, not Done.
 		err = ctx.Err()
 	}
-	m.settle(j, plan, err)
+	m.settle(j, plan, report, err)
 }
 
-// execute performs the job's work.
-func (m *JobManager) execute(ctx context.Context, j *job) (*core.Plan, error) {
-	if j.req.Stream != nil {
-		return m.runStream(ctx, j.req.Stream)
+// execute performs the job's work; only run jobs produce a report.
+func (m *JobManager) execute(ctx context.Context, j *job) (*core.Plan, *ExecutionReport, error) {
+	switch {
+	case j.req.Stream != nil:
+		plan, err := m.runStream(ctx, j.req.Stream)
+		return plan, nil, err
+	case j.req.Run != nil:
+		return m.runRun(ctx, j)
+	default:
+		plan, err := m.svc.DecomposeWith(ctx, j.solver, j.req.Instance)
+		return plan, nil, err
 	}
-	return m.svc.DecomposeWith(ctx, j.solver, j.req.Instance)
 }
 
 // runStream plans the batches through a fresh planner built on the cached
@@ -519,21 +610,29 @@ func (m *JobManager) runStream(ctx context.Context, sj *StreamJob) (*core.Plan, 
 // settle records a job's terminal state and, with a store configured,
 // spills the record to it (outside the lock; a slow disk never blocks
 // Status calls).
-func (m *JobManager) settle(j *job, plan *core.Plan, err error) {
+func (m *JobManager) settle(j *job, plan *core.Plan, report *ExecutionReport, err error) {
 	m.mu.Lock()
 	if j.state.Terminal() {
 		m.mu.Unlock()
 		return
 	}
 	j.finished = time.Now()
+	j.runner = nil // the platform (and any worker pool) is done; free it
 	switch {
 	case err == nil:
 		j.state = JobDone
 		j.plan = plan
+		j.report = report
 		if s, serr := summarize(plan, j.req); serr == nil {
 			j.summary = s
 		}
 		m.counts.done++
+		if report != nil {
+			m.counts.runs++
+			m.counts.runBins += uint64(report.BinsIssued)
+			m.counts.runTopUps += uint64(report.TopUpRounds)
+			m.counts.runSpend += report.Spent
+		}
 	case errors.Is(err, context.Canceled):
 		j.state = JobCanceled
 		m.counts.canceled++
@@ -568,9 +667,12 @@ func (m *JobManager) settle(j *job, plan *core.Plan, err error) {
 // summarize computes the result summary against the job's menu.
 func summarize(plan *core.Plan, req JobRequest) (*PlanSummary, error) {
 	var bins core.BinSet
-	if req.Stream != nil {
+	switch {
+	case req.Stream != nil:
 		bins = req.Stream.Bins
-	} else {
+	case req.Run != nil:
+		bins = req.Run.Instance.Bins()
+	default:
 		bins = req.Instance.Bins()
 	}
 	sum, err := plan.Summarize(bins)
@@ -610,12 +712,14 @@ func (m *JobManager) Status(id string) (JobStatus, error) {
 	}
 	st := JobStatus{
 		ID:        j.id,
+		Kind:      j.kind,
 		State:     j.state,
 		Solver:    j.solver,
 		Submitted: j.submitted,
 		Started:   j.started,
 		Finished:  j.finished,
 		Summary:   j.summary,
+		Report:    j.report,
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()
@@ -663,6 +767,7 @@ func (m *JobManager) Cancel(id string) error {
 	if j.state == JobPending {
 		j.state = JobCanceled
 		j.finished = time.Now()
+		j.runner = nil
 		m.counts.canceled++
 		m.mu.Unlock()
 		j.cancel()
@@ -694,7 +799,8 @@ func (m *JobManager) EvictJob(id string) error {
 	return nil
 }
 
-// JobStats counts jobs by outcome and by durability event.
+// JobStats counts jobs by outcome, by durability event, and — for run
+// jobs — by execution aggregate.
 type JobStats struct {
 	Submitted uint64 `json:"submitted"`
 	Running   int    `json:"running"`
@@ -708,6 +814,14 @@ type JobStats struct {
 	Recovered uint64 `json:"recovered"`
 	// Expired counts terminal jobs reaped by the result TTL.
 	Expired uint64 `json:"expired"`
+	// Runs counts run jobs executed to completion by this process;
+	// recovered run reports are served without re-execution and do not
+	// count. RunBinsIssued / RunTopUpRounds / RunSpend aggregate across
+	// those executions.
+	Runs           uint64  `json:"runs"`
+	RunBinsIssued  uint64  `json:"run_bins_issued"`
+	RunTopUpRounds uint64  `json:"run_top_up_rounds"`
+	RunSpend       float64 `json:"run_spend"`
 }
 
 // Stats returns a snapshot of job counters. Safe for concurrent use.
@@ -715,13 +829,17 @@ func (m *JobManager) Stats() JobStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := JobStats{
-		Submitted: m.counts.submitted,
-		Done:      m.counts.done,
-		Failed:    m.counts.failed,
-		Canceled:  m.counts.canceled,
-		Persisted: m.counts.persisted,
-		Recovered: m.counts.recovered,
-		Expired:   m.counts.expired,
+		Submitted:      m.counts.submitted,
+		Done:           m.counts.done,
+		Failed:         m.counts.failed,
+		Canceled:       m.counts.canceled,
+		Persisted:      m.counts.persisted,
+		Recovered:      m.counts.recovered,
+		Expired:        m.counts.expired,
+		Runs:           m.counts.runs,
+		RunBinsIssued:  m.counts.runBins,
+		RunTopUpRounds: m.counts.runTopUps,
+		RunSpend:       m.counts.runSpend,
 	}
 	for _, j := range m.jobs {
 		switch j.state {

@@ -41,6 +41,10 @@ type Config struct {
 	ResultTTL time.Duration
 	// Logger receives persistence warnings; nil selects log.Default().
 	Logger *log.Logger
+	// PlatformFactory builds the simulated platform run jobs execute
+	// against; nil selects the crowdsim-backed default (models "jelly"
+	// and "smic", optional worker pool).
+	PlatformFactory PlatformFactory
 }
 
 // ErrNoStore tags operations that need a durable store on a service
@@ -99,7 +103,7 @@ func New(cfg Config) *Service {
 		started: time.Now(),
 	}
 	s.sharded = &ShardedSolver{Cache: s.cache, Workers: workers}
-	s.jobs = newJobManager(s, maxJobs, cfg.Store, cfg.ResultTTL, logger)
+	s.jobs = newJobManager(s, maxJobs, cfg.Store, cfg.ResultTTL, logger, cfg.PlatformFactory)
 
 	s.mustRegister(DefaultSolverName, s.sharded)
 	s.mustRegister("greedy", greedy.Solver{})

@@ -23,7 +23,11 @@ import (
 // writes. Readers accept versions in [1, RecordVersion]; a record from a
 // newer version is rejected (Get) or skipped with a warning (List) instead
 // of being half-understood. See docs/FORMATS.md for the format history.
-const RecordVersion = 1
+//
+// Version history: 1 — initial record (plan + summary); 2 — adds Kind and
+// the ExecutionReport payload of run jobs. Version-1 records (no kind, no
+// report) remain readable.
+const RecordVersion = 2
 
 // ErrNotFound tags lookups of records that are absent from the store.
 // Callers branch on it with errors.Is.
@@ -38,9 +42,13 @@ type JobRecord struct {
 	Version int `json:"version"`
 	// ID is the job id ("job-N"); it doubles as the storage key.
 	ID string `json:"id"`
+	// Kind is the job kind ("solve", "stream" or "run"); empty in
+	// version-1 records, where "stream" is recoverable from Solver and
+	// everything else is a solve job.
+	Kind string `json:"kind,omitempty"`
 	// State is the terminal job state ("done", "failed" or "canceled").
 	State string `json:"state"`
-	// Solver names the solver that ran the job.
+	// Solver names the solver that planned the job.
 	Solver string `json:"solver"`
 	// Submitted/Started/Finished are the job's lifecycle timestamps.
 	Submitted time.Time `json:"submitted"`
@@ -52,6 +60,9 @@ type JobRecord struct {
 	Summary json.RawMessage `json:"summary,omitempty"`
 	// Plan is the core.Plan JSON ({"uses": [...]}) for a done job.
 	Plan json.RawMessage `json:"plan,omitempty"`
+	// Report is the service's ExecutionReport JSON for a done run job —
+	// the achieved-reliability/spend outcome of executing the plan.
+	Report json.RawMessage `json:"report,omitempty"`
 }
 
 // Validate checks the invariants every stored record must satisfy.

@@ -39,6 +39,7 @@
 package slade
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http"
@@ -196,6 +197,9 @@ type (
 	ExecutionOptions = executor.Options
 	// ExecutionReport is the outcome of an Execute run.
 	ExecutionReport = executor.Report
+	// BinRunner is the executor's view of a marketplace: Platform
+	// satisfies it, and crowdsim.PoolRunner adapts a worker pool.
+	BinRunner = executor.BinRunner
 	// BudgetOptions configures MaxReliability.
 	BudgetOptions = budget.Options
 	// BudgetResult is the outcome of a budget search.
@@ -220,6 +224,13 @@ func Refine(in *Instance, plan *Plan) (*RefineResult, error) {
 // ground-truth labels for measuring the achieved no-false-negative rate.
 func Execute(pl *Platform, in *Instance, plan *Plan, truth []bool, opts ExecutionOptions) (*ExecutionReport, error) {
 	return executor.Execute(pl, in, plan, truth, opts)
+}
+
+// ExecuteContext is Execute against any BinRunner with cooperative
+// cancellation: the context is observed before every bin issue, so a
+// cancel stops the run at the next bin boundary.
+func ExecuteContext(ctx context.Context, r BinRunner, in *Instance, plan *Plan, truth []bool, opts ExecutionOptions) (*ExecutionReport, error) {
+	return executor.ExecuteContext(ctx, r, in, plan, truth, opts)
 }
 
 // MaxReliability answers the budgeted dual of SLADE: the highest uniform
@@ -270,12 +281,23 @@ type (
 	ShardedSolver = service.ShardedSolver
 	// JobManager runs asynchronous decomposition jobs.
 	JobManager = service.JobManager
-	// JobRequest describes one async job (one-shot or streaming).
+	// JobRequest describes one async job (solve, streaming, or run).
 	JobRequest = service.JobRequest
 	// JobStatus is an async job snapshot.
 	JobStatus = service.JobStatus
 	// StreamJob is the streaming-arrival job payload.
 	StreamJob = service.StreamJob
+	// RunJob is the run-job payload: plan an instance, then execute the
+	// plan against a simulated platform and report delivered reliability.
+	RunJob = service.RunJob
+	// RunPlatformSpec selects and seeds a run job's simulated platform.
+	RunPlatformSpec = service.PlatformSpec
+	// PlatformFactory builds run-job platforms; ServiceConfig.PlatformFactory
+	// overrides the crowdsim-backed default.
+	PlatformFactory = service.PlatformFactory
+	// JobExecutionReport is the persisted outcome of a run job (the
+	// service-level wire form of an ExecutionReport).
+	JobExecutionReport = service.ExecutionReport
 )
 
 // NewService builds the decomposition service with the standard solvers

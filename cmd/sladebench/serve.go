@@ -2,12 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"sync"
 	"time"
 
 	slade "repro"
@@ -28,6 +30,18 @@ type serveBench struct {
 	RunMS          float64 `json:"run_ms"`
 	RunReliability float64 `json:"run_reliability"`
 	RunBinsIssued  int     `json:"run_bins_issued"`
+	// Batched-burst phase: a same-menu burst of BurstRequests requests of
+	// BurstTasksPerReq tasks each is driven through the serving layer's
+	// decompose path twice — once against a batch-less service, once
+	// against one batching at BurstWindowMS — and BatchSpeedup is the
+	// batched/unbatched throughput ratio (see docs/BENCHMARKS.md).
+	BurstRequests      int     `json:"burst_requests"`
+	BurstTasksPerReq   int     `json:"burst_tasks_per_request"`
+	BurstWindowMS      float64 `json:"burst_window_ms"`
+	UnbatchedReqPerSec float64 `json:"unbatched_req_per_sec"`
+	BatchedReqPerSec   float64 `json:"batched_req_per_sec"`
+	BatchSpeedup       float64 `json:"batch_speedup"`
+	BatchMeanSize      float64 `json:"batch_mean_size"`
 }
 
 // runServeSmoke boots the decomposition service in-process behind a real
@@ -86,6 +100,9 @@ func runServeSmoke(w io.Writer, jsonPath string) error {
 	if err := smokeRunJob(w, ts.URL, binsJSON, &bench); err != nil {
 		return err
 	}
+	if err := burstPhase(w, menu, &bench); err != nil {
+		return err
+	}
 
 	st := svc.Stats()
 	fmt.Fprintf(w, "  stats: requests=%d errors=%d cache{builds=%d hits=%d misses=%d} jobs{done=%d runs=%d}\n",
@@ -110,6 +127,98 @@ func runServeSmoke(w io.Writer, jsonPath string) error {
 		fmt.Fprintf(w, "  bench json written to %s\n", jsonPath)
 	}
 	fmt.Fprintln(w, "  OK")
+	return nil
+}
+
+// burstPhase measures the batching front-end: the same same-menu burst —
+// burstC concurrent requesters each firing burstRounds small decompose
+// requests — is driven through the serving layer's decompose path (solve +
+// summary, exactly the work POST /v1/decompose performs per request)
+// against a batch-less service and against one batching at a 2ms window,
+// and the throughput ratio is recorded. The burst runs in-process so the
+// measurement isolates the decomposition path; the HTTP codec work is
+// identical in both modes and would only dilute the ratio. Batching keeps
+// per-request cost bit-identical (the invariant tests pin this), so the
+// speedup is pure amortization: one shared block-aligned solve and one
+// summary per batch of identical requests instead of one each.
+func burstPhase(w io.Writer, menu slade.BinSet, bench *serveBench) error {
+	const (
+		burstC      = 1024 // concurrent requesters
+		burstRounds = 5    // requests per requester per mode
+		burstN      = 2000 // tasks per request
+		burstThr    = 0.9
+		burstWindow = 2 * time.Millisecond
+		burstCap    = 64 // members per batch before an early flush
+	)
+	in, err := slade.NewHomogeneous(menu, burstN, burstThr)
+	if err != nil {
+		return err
+	}
+
+	run := func(svc *slade.Service) (time.Duration, error) {
+		defer svc.Close()
+		ctx := context.Background()
+		if _, err := svc.Decompose(ctx, in); err != nil { // warm the queue cache
+			return 0, err
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, burstC)
+		start := make(chan struct{})
+		for g := 0; g < burstC; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				for r := 0; r < burstRounds; r++ {
+					if _, _, err := svc.DecomposeSummarized(ctx, "sharded", in); err != nil {
+						errs[g] = err
+						return
+					}
+				}
+			}(g)
+		}
+		begin := time.Now()
+		close(start)
+		wg.Wait()
+		elapsed := time.Since(begin)
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		return elapsed, nil
+	}
+
+	unbatched, err := run(slade.NewService(slade.ServiceConfig{}))
+	if err != nil {
+		return fmt.Errorf("unbatched burst: %w", err)
+	}
+	batchedSvc := slade.NewService(slade.ServiceConfig{
+		BatchWindow:      burstWindow,
+		BatchMaxRequests: burstCap,
+	})
+	batched, err := run(batchedSvc)
+	if err != nil {
+		return fmt.Errorf("batched burst: %w", err)
+	}
+	meanSize := batchedSvc.Stats().Batch.MeanSize
+
+	total := float64(burstC * burstRounds)
+	bench.BurstRequests = burstC * burstRounds
+	bench.BurstTasksPerReq = burstN
+	bench.BurstWindowMS = float64(burstWindow) / float64(time.Millisecond)
+	bench.UnbatchedReqPerSec = total / unbatched.Seconds()
+	bench.BatchedReqPerSec = total / batched.Seconds()
+	bench.BatchMeanSize = meanSize
+	if batched > 0 {
+		bench.BatchSpeedup = float64(unbatched) / float64(batched)
+	}
+	fmt.Fprintf(w, "  burst unbatched (%d × n=%d): %8.0f req/s\n", bench.BurstRequests, burstN, bench.UnbatchedReqPerSec)
+	fmt.Fprintf(w, "  burst batched (window=2ms):   %8.0f req/s  (%.1fx, mean batch %.1f)\n",
+		bench.BatchedReqPerSec, bench.BatchSpeedup, meanSize)
+	if bench.BatchSpeedup < 2 {
+		fmt.Fprintf(w, "  warning: batched-burst speedup %.2fx below the 2x target\n", bench.BatchSpeedup)
+	}
 	return nil
 }
 

@@ -16,6 +16,13 @@
 //	sladed -data-dir /var/slade   # durable job + cache state
 //	sladed -result-ttl 24h        # evict terminal jobs after 24 hours
 //	sladed -snapshot-interval 5m  # snapshot the OPQ cache every 5 minutes
+//	sladed -batch-window 0        # disable same-menu request batching
+//	sladed -batch-max 64          # flush a batch after 64 requests
+//
+// By default the daemon coalesces concurrent same-menu decompose traffic
+// into shared block-aligned solves (-batch-window 2ms): requests sharing
+// a menu fingerprint accumulate briefly and are served by one solve, each
+// caller's plan costing exactly what its unbatched solve would.
 //
 // Endpoints (JSON): POST /v1/decompose, POST /v1/jobs, GET /v1/jobs/{id},
 // DELETE /v1/jobs/{id}, POST /v1/admin/snapshot, GET /v1/healthz,
@@ -47,6 +54,8 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable state directory; empty keeps all state in memory")
 	resultTTL := flag.Duration("result-ttl", 0, "evict terminal jobs this long after they finish (0 = keep until deleted)")
 	snapInterval := flag.Duration("snapshot-interval", 0, "periodically persist the OPQ cache (0 = only at shutdown and on POST /v1/admin/snapshot)")
+	batchWindow := flag.Duration("batch-window", slade.DefaultBatchWindow, "coalesce concurrent same-menu requests for up to this long into one shared solve (0 = disable batching)")
+	batchMax := flag.Int("batch-max", 0, "flush a batch once this many requests joined (0 = default 256)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -54,10 +63,12 @@ func main() {
 
 	cfg := daemonConfig{
 		service: slade.ServiceConfig{
-			CacheSize: *cache,
-			Workers:   *workers,
-			MaxJobs:   *maxJobs,
-			ResultTTL: *resultTTL,
+			CacheSize:        *cache,
+			Workers:          *workers,
+			MaxJobs:          *maxJobs,
+			ResultTTL:        *resultTTL,
+			BatchWindow:      *batchWindow,
+			BatchMaxRequests: *batchMax,
 		},
 		dataDir:          *dataDir,
 		snapshotInterval: *snapInterval,
@@ -122,8 +133,8 @@ func serve(ctx context.Context, ln net.Listener, cfg daemonConfig, logger *log.L
 		Handler:           slade.NewServiceHandler(svc),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	logger.Printf("sladed listening on %s (workers=%d, durable=%v)",
-		ln.Addr(), svc.Stats().Workers, cfg.dataDir != "")
+	logger.Printf("sladed listening on %s (workers=%d, durable=%v, batch-window=%v)",
+		ln.Addr(), svc.Stats().Workers, cfg.dataDir != "", cfg.service.BatchWindow)
 
 	// The snapshot loop runs on a child context so it also stops when
 	// Serve fails on its own (fatal accept error) rather than only on a

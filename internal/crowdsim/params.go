@@ -23,6 +23,32 @@
 // amount of work l (so T ∝ l²/c in cardinality at fixed bin price, matching
 // the observed in-time boundaries 14/$0.05, 24/$0.08, 30/$0.10 within one
 // cardinality step).
+//
+// # RNG and seed-derivation rules
+//
+// Every stochastic component draws from an explicit seed, never from
+// global randomness, so any execution is a pure function of its inputs:
+//
+//   - A Platform owns one rand.Rand seeded at construction (crowdsim.New);
+//     a fixed (Params, seed) pair replays an identical RunBin/Probe
+//     sequence across processes — the property the serving layer's run
+//     jobs rely on to re-serve persisted ExecutionReports without
+//     re-executing.
+//   - A Pool owns its own rand.Rand, which must NOT be seeded with the
+//     platform seed verbatim: both streams would replay the same
+//     sequence, correlating worker-skill offsets with per-bin answer
+//     noise. Callers derive a decorrelated seed instead — the serving
+//     layer uses seed*0x9E3779B9 + tag (see service.PlatformSpec) with a
+//     distinct tag per consumer ("pool", "trut"), keeping every stream a
+//     pure function of the one request seed.
+//   - Determinism holds for a sequential call order only. Platform
+//     methods are safe for concurrent use (a mutex serializes RNG draws),
+//     but concurrent callers interleave draws nondeterministically;
+//     callers that need reproducibility give each execution its own
+//     seeded Platform (the run-job PlatformFactory does exactly this).
+//
+// Pool is not safe for concurrent use; wrap it (or confine it to one
+// goroutine) before sharing. PoolRunner inherits that contract.
 package crowdsim
 
 import "time"

@@ -42,6 +42,15 @@ type PoolConfig struct {
 var DefaultPoolConfig = PoolConfig{Size: 500, SkillSigma: 0.03, SpammerFraction: 0.05}
 
 // Pool is a persistent worker population attached to a platform.
+//
+// Concurrency contract: a Pool is NOT safe for concurrent use — RunBin,
+// Qualify and the probe helpers mutate worker records and draw from the
+// pool's unguarded RNG. Confine a Pool to one goroutine or serialize
+// access externally; the executor satisfies this by issuing bins
+// sequentially, and the serving layer by building one pool per run job.
+// Seed the pool with a value derived (not copied) from the platform seed
+// so the two RNG streams stay decorrelated; see the package comment for
+// the derivation rule.
 type Pool struct {
 	platform *Platform
 	workers  []Worker
@@ -216,7 +225,9 @@ func (p *Pool) EmpiricalConfidence(cardinality int, pay float64, difficulty, bin
 // with Platform (the shape internal/executor consumes): the worker id is
 // dropped, the outcome kept. Bins are still routed through the pool's
 // persistent population, so skill spread, spammers and qualification bans
-// all shape the execution.
+// all shape the execution. PoolRunner inherits the Pool's concurrency
+// contract — not safe for concurrent use — which satisfies the
+// executor's BinRunner requirements (bins are issued sequentially).
 type PoolRunner struct{ Pool *Pool }
 
 // RunBin hands the bin to a random active worker and returns its outcome.

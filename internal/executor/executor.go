@@ -8,6 +8,36 @@
 // This is the component a production deployment would sit on top of: the
 // paper's algorithms produce a *plan*; the executor turns the plan into
 // answers with measurable reliability and an itemized spend.
+//
+// # The BinRunner contract
+//
+// The executor's only view of a marketplace is the BinRunner interface:
+// one synchronous call per bin issue, returning that bin's outcome. The
+// contract, stated once here and relied on everywhere:
+//
+//   - Sequential use: the executor issues bins one at a time from a
+//     single goroutine, so a BinRunner need not be safe for concurrent
+//     use within one execution. Sharing one runner across concurrent
+//     executions is the caller's problem — the serving layer builds one
+//     runner per run job (service.PlatformFactory) instead of sharing.
+//   - Money is spent on issue: the executor pays the bin's cost the
+//     moment RunBin is called, whether or not the outcome is overtime.
+//     Implementations must not retry internally; the executor owns the
+//     retry budget and its accounting.
+//   - Determinism is the implementation's promise, not the executor's:
+//     crowdsim.Platform replays identically for a fixed seed (see that
+//     package's RNG rules), which is what makes executions reproducible
+//     and persisted reports re-servable without re-execution.
+//
+// # Cancellation points
+//
+// ExecuteContext observes its context at every point where the next step
+// would spend money or time: before every bin issue (including each
+// retry attempt) and before each adaptive top-up round. A cancel
+// therefore stops the run at the next bin boundary — bins already issued
+// stay paid, no partial report is returned (the caller gets ctx.Err()).
+// RunBin itself is not interruptible; the guarantee is "never pays for
+// another bin after the cancel", not "returns mid-bin".
 package executor
 
 import (
@@ -23,9 +53,17 @@ import (
 // BinRunner executes one bin against a crowd and is the executor's only
 // view of the marketplace: crowdsim.Platform satisfies it directly
 // (anonymous per-bin workers) and crowdsim.PoolRunner routes bins through
-// a persistent worker population. A BinRunner need not be safe for
-// concurrent use; the executor issues bins sequentially.
+// a persistent worker population; a deployment fronting a real
+// marketplace plugs its client in here (via service.PlatformFactory).
+// A BinRunner need not be safe for concurrent use — the executor issues
+// bins sequentially within one execution — and must not retry
+// internally; see the package comment for the full contract.
 type BinRunner interface {
+	// RunBin hands one bin of the given cardinality, pay and difficulty
+	// to a worker and returns the outcome. truth carries the ground-truth
+	// label per task slot (len(truth) ≤ cardinality) so the outcome can
+	// report answer correctness; the call blocks until the (simulated)
+	// worker finishes.
 	RunBin(cardinality int, pay float64, difficulty int, truth []bool) crowdsim.BinOutcome
 }
 

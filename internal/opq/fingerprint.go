@@ -2,11 +2,17 @@ package opq
 
 import (
 	"encoding/binary"
-	"fmt"
-	"hash/fnv"
 	"math"
+	"strconv"
 
 	"repro/internal/core"
+)
+
+// FNV-64a parameters (hash/fnv's), inlined so the hot path hashes
+// without interface dispatch; the digest values are identical.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
 )
 
 // Fingerprint returns a compact cache key for the queue opq.Build(bins, t)
@@ -16,19 +22,47 @@ import (
 // fingerprint; distinct pairs collide only with 64-bit-hash probability, so
 // callers using it as a cache key must confirm a hit against the full key
 // material (the service's OPQCache does).
+//
+// Fingerprint sits on the per-request hot path of the serving layer (every
+// cache lookup and every batch join keys by it), so it renders the key with
+// direct strconv appends instead of fmt. The format "%016x:m%d:t%.6f" is
+// load-bearing: persisted cache snapshots store fingerprints on disk and
+// restore compares recomputed against stored, so any change to the rendered
+// form invalidates existing snapshots (see TestFingerprintFormat).
 func Fingerprint(bins core.BinSet, t float64) string {
-	h := fnv.New64a()
+	const hexdigits = "0123456789abcdef"
+	sum := FingerprintDigest(bins, t)
+	out := make([]byte, 0, 48)
+	for shift := 60; shift >= 0; shift -= 4 { // %016x
+		out = append(out, hexdigits[(sum>>shift)&0xf])
+	}
+	out = append(out, ':', 'm')
+	out = strconv.AppendInt(out, int64(bins.Len()), 10)
+	out = append(out, ':', 't')
+	out = strconv.AppendFloat(out, t, 'f', 6, 64)
+	return string(out)
+}
+
+// FingerprintDigest returns Fingerprint's 64-bit digest without rendering
+// the string form — the per-request key the service's batcher groups by,
+// where the string's strconv work would be pure overhead. Like the full
+// fingerprint, equal digests of distinct key material are possible and
+// must be confirmed against the full (menu, threshold) pair.
+func FingerprintDigest(bins core.BinSet, t float64) uint64 {
+	h := uint64(fnvOffset64)
 	var buf [8]byte
-	writeF64 := func(v float64) {
-		binary.BigEndian.PutUint64(buf[:], math.Float64bits(v))
-		h.Write(buf[:])
+	write := func(v uint64) {
+		binary.BigEndian.PutUint64(buf[:], v)
+		for _, c := range buf {
+			h = (h ^ uint64(c)) * fnvPrime64
+		}
 	}
-	for _, b := range bins.Bins() {
-		binary.BigEndian.PutUint64(buf[:], uint64(b.Cardinality))
-		h.Write(buf[:])
-		writeF64(b.Confidence)
-		writeF64(b.Cost)
+	for i := 0; i < bins.Len(); i++ { // At, not Bins(): no menu copy per key
+		b := bins.At(i)
+		write(uint64(b.Cardinality))
+		write(math.Float64bits(b.Confidence))
+		write(math.Float64bits(b.Cost))
 	}
-	writeF64(t)
-	return fmt.Sprintf("%016x:m%d:t%.6f", h.Sum64(), bins.Len(), t)
+	write(math.Float64bits(t))
+	return h
 }

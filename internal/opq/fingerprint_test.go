@@ -1,6 +1,11 @@
 package opq
 
 import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/core"
@@ -59,4 +64,49 @@ func TestFingerprintDistinguishes(t *testing.T) {
 			t.Errorf("%s: fingerprint collision", name)
 		}
 	}
+}
+
+// TestFingerprintFormat pins the rendered key to the original
+// "%016x:m%d:t%.6f" layout. Persisted cache snapshots compare stored
+// fingerprints against recomputed ones at restore, so the hand-rolled
+// append path must stay byte-identical to the fmt form it replaced — a
+// drift here silently invalidates every snapshot on disk.
+func TestFingerprintFormat(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		nBins := 1 + rng.Intn(12)
+		bins := make([]core.TaskBin, nBins)
+		for j := range bins {
+			bins[j] = core.TaskBin{
+				Cardinality: j + 1,
+				Confidence:  0.5 + rng.Float64()*0.45,
+				Cost:        0.01 + rng.Float64(),
+			}
+		}
+		menu := core.MustBinSet(bins)
+		thr := rng.Float64() * 0.999
+		got := Fingerprint(menu, thr)
+		if want := referenceFingerprint(menu, thr); got != want {
+			t.Fatalf("fingerprint %q, reference %q", got, want)
+		}
+	}
+}
+
+// referenceFingerprint is the original hash/fnv + fmt implementation the
+// hot-path version must stay byte-identical to.
+func referenceFingerprint(bins core.BinSet, t float64) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeF64 := func(v float64) {
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	for _, b := range bins.Bins() {
+		binary.BigEndian.PutUint64(buf[:], uint64(b.Cardinality))
+		h.Write(buf[:])
+		writeF64(b.Confidence)
+		writeF64(b.Cost)
+	}
+	writeF64(t)
+	return fmt.Sprintf("%016x:m%d:t%.6f", h.Sum64(), bins.Len(), t)
 }

@@ -27,7 +27,9 @@ const MaxRequestBytes = 64 << 20
 //
 // Everything is stdlib JSON over the stdlib mux; the handler is safe for
 // concurrent use — it is stateless itself and delegates to the
-// concurrency-safe Service. See docs/OPERATIONS.md for curl examples.
+// concurrency-safe Service. docs/API.md is the complete wire reference
+// (schemas, status codes, error shapes); docs/OPERATIONS.md has curl
+// examples.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/decompose", func(w http.ResponseWriter, r *http.Request) {
@@ -115,20 +117,15 @@ func handleDecompose(s *Service, w http.ResponseWriter, r *http.Request) {
 		name = DefaultSolverName
 	}
 	start := time.Now()
-	plan, err := s.DecomposeWith(r.Context(), name, in)
+	plan, sum, err := s.DecomposeSummarized(r.Context(), name, in)
 	if err != nil {
 		writeErr(w, statusFor(err), err)
-		return
-	}
-	sum, err := plan.Summarize(in.Bins())
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
 	resp := decomposeResponse{
 		Solver:    name,
 		N:         in.N(),
-		Summary:   NewPlanSummary(sum),
+		Summary:   sum,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
 	}
 	if req.IncludePlan {
@@ -358,12 +355,16 @@ func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
 const statusCanceled = 499
 
 // statusFor maps a solve error to an HTTP status: context cancellations
-// (the client went away mid-solve) surface as 499, everything else as 422
-// (the instance was well-formed JSON but unsolvable — e.g. unknown solver
-// or an infeasible menu).
+// (the client went away mid-solve) surface as 499, server-side
+// summarize failures as 500, everything else as 422 (the instance was
+// well-formed JSON but unsolvable — e.g. unknown solver or an
+// infeasible menu).
 func statusFor(err error) int {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return statusCanceled
+	}
+	if errors.Is(err, errSummarize) {
+		return http.StatusInternalServerError
 	}
 	return http.StatusUnprocessableEntity
 }

@@ -365,3 +365,17 @@ func TestHTTPHealthzAndStats(t *testing.T) {
 		t.Fatalf("stats payload: %+v", st)
 	}
 }
+
+// TestStatusForSummarizeError pins the status mapping of server-side
+// summarize failures: unlike ordinary solve errors (422, the client's
+// instance was unsolvable), a failure to summarize a plan our own
+// solver produced is an internal invariant break and must surface as
+// 500 so operators' 5xx monitoring sees it.
+func TestStatusForSummarizeError(t *testing.T) {
+	if got := statusFor(fmt.Errorf("%w: boom", errSummarize)); got != http.StatusInternalServerError {
+		t.Errorf("summarize error mapped to %d, want 500", got)
+	}
+	if got := statusFor(fmt.Errorf("service: unknown solver")); got != http.StatusUnprocessableEntity {
+		t.Errorf("solve error mapped to %d, want 422", got)
+	}
+}

@@ -45,11 +45,29 @@ type Config struct {
 	// against; nil selects the crowdsim-backed default (models "jelly"
 	// and "smic", optional worker pool).
 	PlatformFactory PlatformFactory
+	// BatchWindow > 0 enables the request batcher: concurrent
+	// default-solver requests (synchronous decomposes and the planning
+	// phase of solve/run jobs) that share a menu fingerprint accumulate
+	// for up to this long — DefaultBatchWindow (~2ms) in cmd/sladed —
+	// and are served by one shared block-aligned solve, each caller
+	// receiving a plan that costs exactly what its unbatched solve
+	// would. Zero keeps batching off (the library default), preserving
+	// per-request latency for embedders that never see bursts.
+	BatchWindow time.Duration
+	// BatchMaxRequests flushes a batch early once this many requests
+	// joined it; <= 0 selects DefaultBatchMaxRequests. Only meaningful
+	// with BatchWindow > 0.
+	BatchMaxRequests int
 }
 
 // ErrNoStore tags operations that need a durable store on a service
 // configured without one; the HTTP layer maps it to 409.
 var ErrNoStore = errors.New("service: no durable store configured")
+
+// errSummarize tags a failure to summarize a plan our own solver just
+// produced — a server-side invariant break, not a client mistake. The
+// HTTP layer maps it to 500 where ordinary solve errors map to 422.
+var errSummarize = errors.New("service: summarizing solved plan")
 
 // Service is the long-running decomposition service: a queue cache, a
 // sharded solver, a registry of named solvers, an async job manager, and
@@ -60,6 +78,9 @@ type Service struct {
 	jobs    *JobManager
 	store   store.Store
 	logger  *log.Logger
+	// batcher coalesces same-key default-solver traffic; nil when
+	// batching is disabled.
+	batcher *batcher
 
 	mu      sync.RWMutex
 	solvers map[string]core.Solver
@@ -103,6 +124,9 @@ func New(cfg Config) *Service {
 		started: time.Now(),
 	}
 	s.sharded = &ShardedSolver{Cache: s.cache, Workers: workers}
+	if cfg.BatchWindow > 0 {
+		s.batcher = newBatcher(s, cfg.BatchWindow, cfg.BatchMaxRequests)
+	}
 	s.jobs = newJobManager(s, maxJobs, cfg.Store, cfg.ResultTTL, logger, cfg.PlatformFactory)
 
 	s.mustRegister(DefaultSolverName, s.sharded)
@@ -240,10 +264,40 @@ func (s *Service) Decompose(ctx context.Context, in *core.Instance) (*core.Plan,
 // DecomposeWith solves the instance with the named solver, recording
 // request, error, task and latency counters. Solvers that implement
 // SolveContext (the sharded solver does) observe ctx; plain core.Solvers
-// run to completion. Safe for concurrent use; the instance is only read.
+// run to completion. With batching enabled, default-solver homogeneous
+// requests are coalesced with concurrent same-key traffic (the reported
+// latency then includes the accumulation window). Safe for concurrent
+// use; the instance is only read.
 func (s *Service) DecomposeWith(ctx context.Context, name string, in *core.Instance) (*core.Plan, error) {
+	plan, _, err := s.decomposeTimed(ctx, name, in)
+	return plan, err
+}
+
+// DecomposeSummarized is DecomposeWith returning the plan's summary as
+// well — the shape the HTTP layer serves. Batched requests of one shape
+// share a single summary computation; unbatched requests compute their
+// own. Safe for concurrent use.
+func (s *Service) DecomposeSummarized(ctx context.Context, name string, in *core.Instance) (*core.Plan, PlanSummary, error) {
+	plan, sum, err := s.decomposeTimed(ctx, name, in)
+	if err != nil {
+		return nil, PlanSummary{}, err
+	}
+	if sum == nil {
+		sm, err := plan.Summarize(in.Bins())
+		if err != nil {
+			return nil, PlanSummary{}, fmt.Errorf("%w: %v", errSummarize, err)
+		}
+		ps := NewPlanSummary(sm)
+		sum = &ps
+	}
+	return plan, *sum, nil
+}
+
+// decomposeTimed wraps the solve with the request counters shared by
+// both public entry points.
+func (s *Service) decomposeTimed(ctx context.Context, name string, in *core.Instance) (*core.Plan, *PlanSummary, error) {
 	start := time.Now()
-	plan, err := s.decomposeWith(ctx, name, in)
+	plan, sum, err := s.decomposeWith(ctx, name, in)
 	s.requests.Add(1)
 	s.latencyNS.Add(uint64(time.Since(start).Nanoseconds()))
 	if err != nil {
@@ -251,7 +305,7 @@ func (s *Service) DecomposeWith(ctx context.Context, name string, in *core.Insta
 	} else if in != nil {
 		s.tasks.Add(uint64(in.N()))
 	}
-	return plan, err
+	return plan, sum, err
 }
 
 // ctxSolver is the optional context-aware extension of core.Solver.
@@ -259,21 +313,36 @@ type ctxSolver interface {
 	SolveContext(ctx context.Context, in *core.Instance) (*core.Plan, error)
 }
 
-func (s *Service) decomposeWith(ctx context.Context, name string, in *core.Instance) (*core.Plan, error) {
+// decomposeWith routes one request: through the batcher when it is
+// eligible (batching on, the resolved solver is the built-in sharded
+// path, homogeneous, non-empty — the shapes whose shared solve is
+// provably cost-neutral), otherwise straight to the named solver. Only
+// the batched path returns a (shared) summary; nil means the caller
+// computes its own on demand.
+func (s *Service) decomposeWith(ctx context.Context, name string, in *core.Instance) (*core.Plan, *PlanSummary, error) {
 	if in == nil {
-		return nil, fmt.Errorf("service: nil instance")
+		return nil, nil, fmt.Errorf("service: nil instance")
 	}
 	sv, err := s.solver(name)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if s.batcher != nil && in.N() > 0 && in.Homogeneous() {
+		// Batch only the built-in sharded solver: a re-registered
+		// "sharded" must keep routing to the replacement.
+		if ss, ok := sv.(*ShardedSolver); ok && ss == s.sharded {
+			return s.batcher.join(ctx, in)
+		}
 	}
 	if cs, ok := sv.(ctxSolver); ok {
-		return cs.SolveContext(ctx, in)
+		plan, err := cs.SolveContext(ctx, in)
+		return plan, nil, err
 	}
-	return sv.Solve(in)
+	plan, err := sv.Solve(in)
+	return plan, nil, err
 }
 
 // Jobs returns the async job manager. Safe for concurrent use; the
@@ -336,6 +405,8 @@ type Stats struct {
 	AvgLatencyMS float64 `json:"avg_latency_ms"`
 	// Cache reports queue-cache effectiveness.
 	Cache CacheStats `json:"cache"`
+	// Batch reports the request batcher's coalescing effectiveness.
+	Batch BatchStats `json:"batch"`
 	// Jobs reports async job counters.
 	Jobs JobStats `json:"jobs"`
 	// Persistence reports the durable state layer's status.
@@ -377,6 +448,9 @@ func (s *Service) Stats() Stats {
 		},
 		Solvers: s.SolverNames(),
 		Workers: s.sharded.workers(),
+	}
+	if s.batcher != nil {
+		st.Batch = s.batcher.stats()
 	}
 	if st.Requests > 0 {
 		st.AvgLatencyMS = float64(s.latencyNS.Load()) / float64(st.Requests) / 1e6

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/binset"
 	"repro/internal/core"
@@ -100,5 +101,103 @@ func TestStressConcurrentDecompose(t *testing.T) {
 	}
 	if s := svc.Stats(); s.Requests != requests || s.Errors != 0 {
 		t.Fatalf("service stats: %+v", s)
+	}
+}
+
+// TestStressBatchedDecompose is the batching-front-end stress test: many
+// goroutines fire mixed same-key and different-key requests at a batching
+// service and the test asserts the batcher's three invariants at once:
+//
+//  1. one shared solve per key per window — every key's requests coalesce
+//     into exactly one batch (the cap equals the per-key request count, so
+//     the final join flushes deterministically, never the timer);
+//  2. exact cost parity — every batched plan costs precisely what the
+//     unbatched OPQ-Based solve of its instance costs;
+//  3. no cross-request task leakage — every plan validates against its own
+//     instance, i.e. only addresses task ids 0..n-1 of its own request
+//     (the flush-side stream.SplitPlan range check enforces the same
+//     invariant structurally on the shared side).
+//
+// Run under -race (CI does) to certify the batcher race-clean.
+func TestStressBatchedDecompose(t *testing.T) {
+	jelly, err := binset.Jelly(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	menus := []core.BinSet{binset.Table1(), menuB(), jelly}
+	thresholds := []float64{0.9, 0.95}
+	distinctKeys := len(menus) * len(thresholds)
+	const perKey = 16
+	sizes := []int{11, 64, 200, 350} // mixed sizes inside every batch
+
+	type workload struct {
+		in   *core.Instance
+		want float64
+	}
+	var workloads []workload
+	for _, menu := range menus {
+		for _, th := range thresholds {
+			for r := 0; r < perKey; r++ {
+				in := core.MustHomogeneous(menu, sizes[r%len(sizes)], th)
+				ref, err := (opq.Solver{}).Solve(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				workloads = append(workloads, workload{in: in, want: ref.MustCost(menu)})
+			}
+		}
+	}
+
+	svc := New(Config{
+		Workers:          4,
+		CacheSize:        2 * distinctKeys,
+		BatchWindow:      time.Minute, // the cap must flush, never the timer
+		BatchMaxRequests: perKey,
+	})
+	defer svc.Close()
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make([]error, len(workloads))
+	for i, wl := range workloads {
+		wg.Add(1)
+		go func(i int, wl workload) {
+			defer wg.Done()
+			<-start
+			plan, err := svc.Decompose(context.Background(), wl.in)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if err := plan.Validate(wl.in); err != nil {
+				errs[i] = err // out-of-range ids would mark cross-request leakage
+				return
+			}
+			if got := plan.MustCost(wl.in.Bins()); got != wl.want {
+				t.Errorf("request %d: batched cost %v != unbatched %v", i, got, wl.want)
+			}
+		}(i, wl)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+
+	bs := svc.Stats().Batch
+	if int(bs.Batches) != distinctKeys {
+		t.Fatalf("want one shared solve (batch) per key, got %d batches for %d keys (%+v)",
+			bs.Batches, distinctKeys, bs)
+	}
+	if got := int(bs.BatchedRequests); got != len(workloads) {
+		t.Fatalf("batcher served %d requests, want %d", got, len(workloads))
+	}
+	if bs.WindowTimeouts != 0 {
+		t.Fatalf("cap-flushed batches counted %d window timeouts", bs.WindowTimeouts)
+	}
+	if cs := svc.Cache().Stats(); int(cs.Builds) != distinctKeys {
+		t.Fatalf("want one queue build per key, got %d", cs.Builds)
 	}
 }

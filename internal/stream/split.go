@@ -1,0 +1,83 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// SplitPlan is the inverse of the MergePlans/OffsetTasks bookkeeping the
+// serving layer uses to batch several callers into one block-aligned solve:
+// given a merged plan over the concatenated task-id space of len(sizes)
+// callers — caller i owns the contiguous global ids
+// [sizes[0]+…+sizes[i-1], sizes[0]+…+sizes[i]) — it partitions the uses
+// back into one plan per caller, rebased to each caller's local id space
+// 0..sizes[i]-1.
+//
+// Every use must fall entirely inside one caller's range; a use that spans
+// two callers (or addresses an id outside the concatenated space) is
+// cross-request task leakage and fails the whole split — the batcher keeps
+// each caller's tasks in caller-aligned blocks precisely so this never
+// happens, and the error is the structural guarantee of that invariant.
+// Cost splits exactly: because uses partition without overlap, the per-
+// caller costs sum to the merged plan's cost.
+//
+// SplitPlan takes ownership of merged: task slices are rebased in place
+// and reused by the returned plans (no copying), so the merged plan must
+// not be read or reused after the call. Callers that need the merged plan
+// intact should pass a deep copy (core.MergePlans(merged) makes one).
+func SplitPlan(merged *core.Plan, sizes []int) ([]*core.Plan, error) {
+	if merged == nil {
+		return nil, fmt.Errorf("stream: split of a nil plan")
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("stream: split needs at least one caller size")
+	}
+	// offsets[i] is the first global id of caller i; offsets[k] the total.
+	offsets := make([]int, len(sizes)+1)
+	for i, n := range sizes {
+		if n < 0 {
+			return nil, fmt.Errorf("stream: negative caller size %d at index %d", n, i)
+		}
+		offsets[i+1] = offsets[i] + n
+	}
+	total := offsets[len(sizes)]
+
+	out := make([]*core.Plan, len(sizes))
+	for i := range out {
+		out[i] = &core.Plan{}
+	}
+	// Owner lookup keeps a cursor: merged plans built caller-by-caller (the
+	// batcher's, and any MergePlans of per-caller parts) visit owners in
+	// non-decreasing order, making the common case O(1) per use; uses in
+	// arbitrary order fall back to binary search.
+	owner := 0
+	for ui := range merged.Uses {
+		u := &merged.Uses[ui]
+		if len(u.Tasks) == 0 {
+			return nil, fmt.Errorf("stream: use %d has no tasks to attribute an owner by", ui)
+		}
+		first := u.Tasks[0]
+		if first < 0 || first >= total {
+			return nil, fmt.Errorf("stream: use %d task %d outside the merged space [0,%d)", ui, first, total)
+		}
+		// The owner is the caller whose range holds the first task; every
+		// other task must agree.
+		for first >= offsets[owner+1] {
+			owner++
+		}
+		if first < offsets[owner] {
+			owner = sort.Search(len(sizes), func(i int) bool { return offsets[i+1] > first })
+		}
+		lo, hi := offsets[owner], offsets[owner+1]
+		for ti, t := range u.Tasks {
+			if t < lo || t >= hi {
+				return nil, fmt.Errorf("stream: use %d leaks across callers: task %d outside owner %d's range [%d,%d)", ui, t, owner, lo, hi)
+			}
+			u.Tasks[ti] = t - lo // rebase in place; we own the slice
+		}
+		out[owner].Uses = append(out[owner].Uses, *u)
+	}
+	return out, nil
+}

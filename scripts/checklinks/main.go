@@ -1,14 +1,22 @@
-// Command checklinks verifies relative links in the repository's Markdown
-// files: every [text](target) whose target is neither an absolute URL nor
-// a pure fragment must resolve to an existing file or directory, relative
-// to the file containing the link. CI runs it as the docs gate; run it
-// locally with:
+// Command checklinks is the repository's docs gate. It verifies two
+// properties of the Markdown tree:
+//
+//  1. Relative links resolve: every [text](target) whose target is
+//     neither an absolute URL nor a pure fragment must point to an
+//     existing file or directory, relative to the file containing the
+//     link.
+//  2. docs/ has no orphans: every *.md file under <root>/docs must be
+//     reachable from <root>/README.md by following relative Markdown
+//     links — documentation nobody links to is documentation nobody
+//     finds.
+//
+// CI runs it as the docs job; run it locally with:
 //
 //	go run ./scripts/checklinks .
 //
-// Exit status is non-zero if any link is broken, with one line per
-// offender. Fragments (#section) are stripped before checking; anchors
-// themselves are not validated.
+// Exit status is non-zero if any link is broken or any docs file is
+// orphaned, with one line per offender. Fragments (#section) are
+// stripped before checking; anchors themselves are not validated.
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 )
 
@@ -43,15 +52,18 @@ func main() {
 		fmt.Println(b)
 	}
 	if len(broken) > 0 {
-		fmt.Fprintf(os.Stderr, "checklinks: %d broken relative link(s)\n", len(broken))
+		fmt.Fprintf(os.Stderr, "checklinks: %d problem(s)\n", len(broken))
 		os.Exit(1)
 	}
 }
 
 // check walks root for *.md files and returns one message per broken
-// relative link.
+// relative link or orphaned docs/ file.
 func check(root string) ([]string, error) {
 	var broken []string
+	// links maps each Markdown file (cleaned path) to the Markdown files
+	// its relative links resolve to — the edges of the reachability walk.
+	links := make(map[string][]string)
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -67,23 +79,59 @@ func check(root string) ([]string, error) {
 		if !strings.HasSuffix(strings.ToLower(d.Name()), ".md") {
 			return nil
 		}
-		msgs, err := checkFile(path)
+		msgs, targets, err := checkFile(path)
 		if err != nil {
 			return err
 		}
 		broken = append(broken, msgs...)
+		links[filepath.Clean(path)] = targets
 		return nil
 	})
-	return broken, err
-}
-
-// checkFile scans one Markdown file.
-func checkFile(path string) ([]string, error) {
-	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var broken []string
+	broken = append(broken, orphans(root, links)...)
+	return broken, nil
+}
+
+// orphans returns one message per Markdown file under <root>/docs that is
+// not reachable from <root>/README.md via the collected link graph.
+func orphans(root string, links map[string][]string) []string {
+	start := filepath.Clean(filepath.Join(root, "README.md"))
+	if _, ok := links[start]; !ok {
+		return nil // no README at the root: nothing to anchor the walk
+	}
+	reached := map[string]bool{start: true}
+	frontier := []string{start}
+	for len(frontier) > 0 {
+		next := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, to := range links[next] {
+			if !reached[to] {
+				reached[to] = true
+				frontier = append(frontier, to)
+			}
+		}
+	}
+	docsDir := filepath.Clean(filepath.Join(root, "docs")) + string(filepath.Separator)
+	var out []string
+	for path := range links {
+		if strings.HasPrefix(path, docsDir) && !reached[path] {
+			out = append(out, fmt.Sprintf("%s: orphaned — not reachable from %s via relative links", path, start))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkFile scans one Markdown file, returning broken-link messages and
+// the Markdown files its relative links point to.
+func checkFile(path string) ([]string, []string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var broken, targets []string
 	inFence := false
 	for i, line := range strings.Split(string(data), "\n") {
 		if codeFenceRE.MatchString(line) {
@@ -106,10 +154,14 @@ func checkFile(path string) ([]string, error) {
 			resolved := filepath.Join(filepath.Dir(path), target)
 			if _, err := os.Stat(resolved); err != nil {
 				broken = append(broken, fmt.Sprintf("%s:%d: broken link %q (resolved %s)", path, i+1, m[1], resolved))
+				continue
+			}
+			if strings.HasSuffix(strings.ToLower(resolved), ".md") {
+				targets = append(targets, filepath.Clean(resolved))
 			}
 		}
 	}
-	return broken, nil
+	return broken, targets, nil
 }
 
 // skippable reports whether the target is out of scope: absolute URLs,

@@ -277,6 +277,8 @@ type (
 	OPQCache = service.OPQCache
 	// CacheStats reports queue-cache effectiveness.
 	CacheStats = service.CacheStats
+	// BatchStats reports the request batcher's coalescing effectiveness.
+	BatchStats = service.BatchStats
 	// ShardedSolver solves instances in concurrent block-aligned shards.
 	ShardedSolver = service.ShardedSolver
 	// JobManager runs asynchronous decomposition jobs.
@@ -299,6 +301,14 @@ type (
 	// service-level wire form of an ExecutionReport).
 	JobExecutionReport = service.ExecutionReport
 )
+
+// DefaultBatchWindow is the request-batcher accumulation window cmd/sladed
+// enables by default; ServiceConfig.BatchWindow = 0 keeps batching off.
+const DefaultBatchWindow = service.DefaultBatchWindow
+
+// DefaultBatchMaxRequests is the per-batch size cap used when
+// ServiceConfig.BatchMaxRequests is unset.
+const DefaultBatchMaxRequests = service.DefaultBatchMaxRequests
 
 // NewService builds the decomposition service with the standard solvers
 // registered ("sharded", "greedy", "opq", "opq-extended", "baseline").

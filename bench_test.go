@@ -193,6 +193,79 @@ func BenchmarkFig6Scalability(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveRuns measures the compact block-run solve on a cached
+// queue — the serving layer's hot path — against the legacy-form compat
+// entry that expands every use. The runs variant is the allocation story
+// of the whole PR: a handful of allocations regardless of n, where the
+// per-use representation allocated per bin use.
+func BenchmarkSolveRuns(b *testing.B) {
+	menu := benchMenu(b, experiments.Jelly, 20)
+	q, err := opq.Build(menu, 0.9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("n=%d/runs", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pr, err := opq.SolveRunsRange(q, 0, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if pr.NumUses() == 0 {
+					b.Fatal("empty plan")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/legacy-expand", n), func(b *testing.B) {
+			tasks := make([]int, n)
+			for i := range tasks {
+				tasks[i] = i
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan, err := opq.SolveWithQueue(q, tasks)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if plan.NumUses() == 0 {
+					b.Fatal("empty plan")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMaterialize isolates the lazy expansion a run-backed plan pays
+// once at the JSON edge: the solve is done, only the []BinUse view is
+// built (full-block task lists alias the arena, so this stays a
+// two-allocation operation however large the plan).
+func BenchmarkMaterialize(b *testing.B) {
+	menu := benchMenu(b, experiments.Jelly, 20)
+	q, err := opq.Build(menu, 0.9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{10_000, 100_000} {
+		pr, err := opq.SolveRunsRange(q, 0, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// A fresh shell per iteration defeats the once-cache while
+				// sharing the (read-only) runs and arena.
+				shell := &core.PlanRuns{Arena: pr.Arena, Runs: pr.Runs}
+				if uses := shell.Materialize(); len(uses) == 0 {
+					b.Fatal("empty materialization")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkServiceCachedVsCold measures the serving layer's warm-cache
 // request latency against the cold path that rebuilds the Optimal Priority
 // Queue per request. The gap is the amortization cmd/sladed buys for

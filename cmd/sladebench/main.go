@@ -8,6 +8,8 @@
 //	sladebench -fig 6i -csv        # CSV output
 //	sladebench -serve              # smoke-test the decomposition service
 //	sladebench -serve -bench-json BENCH_serve.json  # + machine-readable results
+//	sladebench -solve-bench -solve-json BENCH_solve.json -solve-alloc-budget 24
+//	                               # hot-path solve benchmark + allocs/op gate
 //
 // -serve boots an in-process sladed service, fires warm- and cold-cache
 // decompose requests plus an async solve job and a "kind":"run" execution
@@ -16,6 +18,14 @@
 // this machine. -bench-json additionally writes the measurements (cold/warm
 // latency, speedup, job and run round trips, achieved reliability) as JSON,
 // which CI uploads as an artifact to accumulate a perf trajectory.
+//
+// -solve-bench benchmarks the decomposition hot path itself (no HTTP): the
+// cold build+solve, the cached compact-run solve, the lazy materialization,
+// and the pre-PR per-use baseline, each with ns/op and allocs/op.
+// -solve-json writes the measurements (CI uploads BENCH_solve.json), and
+// -solve-alloc-budget fails the run if the cached solve+materialize path
+// allocates more than the committed budget per op — the regression gate for
+// the zero-allocation pipeline.
 //
 // Figure identifiers follow the paper: 6a/6c (Jelly, t vs cost/time),
 // 6b/6d (SMIC), 6e/6g and 6f/6h (|B| sweeps), 6i/6k and 6j/6l (scalability),
@@ -37,10 +47,20 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	serve := flag.Bool("serve", false, "smoke-test the decomposition service instead of regenerating figures")
 	benchJSON := flag.String("bench-json", "", "with -serve, also write the measurements as JSON to this path")
+	solve := flag.Bool("solve-bench", false, "benchmark the decomposition hot path (cold vs cached, allocs/op) instead of regenerating figures")
+	solveJSON := flag.String("solve-json", "", "with -solve-bench, also write the measurements as JSON to this path")
+	solveBudget := flag.Int64("solve-alloc-budget", 0, "with -solve-bench, fail if cached solve+materialize exceeds this many allocs/op (0 = no gate)")
 	flag.Parse()
 
 	if *serve {
 		if err := runServeSmoke(os.Stdout, *benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "sladebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *solve {
+		if err := runSolveBench(os.Stdout, *solveJSON, *solveBudget); err != nil {
 			fmt.Fprintln(os.Stderr, "sladebench:", err)
 			os.Exit(1)
 		}

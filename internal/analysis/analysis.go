@@ -107,11 +107,12 @@ func Analyze(in *core.Instance, plan *core.Plan) (*Stats, error) {
 	slack := make([]float64, in.N())
 	counts := make([]float64, in.N())
 	totalMass, totalSlack := 0.0, 0.0
-	for _, u := range plan.Uses {
-		for _, t := range u.Tasks {
+	_ = plan.EachUse(func(_ int, tasks []int) error {
+		for _, t := range tasks {
 			counts[t]++
 		}
-	}
+		return nil
+	})
 	for i := 0; i < in.N(); i++ {
 		perTask[i] = counts[i]
 		slack[i] = mass[i] - in.Theta(i)

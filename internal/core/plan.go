@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -24,14 +25,70 @@ type BinUse struct {
 }
 
 // Plan is a decomposition plan DP_T: a multiset of bin uses with concrete
-// task placements.
+// task placements. A plan is backed either by an explicit use list (Uses,
+// the legacy form every hand-built plan and decoded JSON uses) or by a
+// compact block-run form (see PlanRuns) the hot-path solvers emit; in the
+// run-backed case Uses stays nil and per-use views are produced lazily by
+// Materialized. All read methods work identically on both forms.
 type Plan struct {
 	Uses []BinUse `json:"uses"`
+
+	// runs is the compact backing of a solver-emitted plan; nil for
+	// legacy plans.
+	runs *PlanRuns
+}
+
+// NewRunPlan wraps a compact run-backed plan. The PlanRuns is owned by
+// the returned plan and must not be mutated by the caller afterwards.
+func NewRunPlan(pr *PlanRuns) *Plan { return &Plan{runs: pr} }
+
+// Runs returns the plan's compact run backing, or nil for a legacy plan.
+func (p *Plan) Runs() *PlanRuns { return p.runs }
+
+// Materialized returns the plan's bin uses: the Uses field for a legacy
+// plan, or the cached lazy expansion of the run form. The returned slice
+// is shared and read-only (run-backed task lists alias the plan's arena).
+// Safe for concurrent use.
+func (p *Plan) Materialized() []BinUse {
+	if p.runs != nil {
+		return p.runs.Materialize()
+	}
+	return p.Uses
+}
+
+// EachUse streams the plan's bin uses in order without materializing a
+// run-backed plan: the tasks slice is only valid for the duration of the
+// callback and must not be retained or mutated. Iteration stops at the
+// first non-nil error, which is returned.
+func (p *Plan) EachUse(fn func(cardinality int, tasks []int) error) error {
+	if p.runs != nil {
+		return p.runs.EachUse(fn)
+	}
+	for i := range p.Uses {
+		if err := fn(p.Uses[i].Cardinality, p.Uses[i].Tasks); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarshalJSON renders the plan in its legacy wire form {"uses": [...]},
+// materializing a run-backed plan first — stored job records and HTTP
+// responses are byte-compatible across both backings.
+func (p *Plan) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Uses []BinUse `json:"uses"`
+	}{Uses: p.Materialized()})
 }
 
 // Cost returns the total incentive cost of the plan under the given menu:
-// the sum of c_|β| over all bin uses β.
+// the sum of c_|β| over all bin uses β. Run-backed plans compute it from
+// run metadata in the same accumulation order the expanded sum would use,
+// so the two forms agree bit for bit.
 func (p *Plan) Cost(bins BinSet) (float64, error) {
+	if p.runs != nil {
+		return p.runs.Cost(bins)
+	}
 	total := 0.0
 	for _, u := range p.Uses {
 		b, ok := bins.ByCardinality(u.Cardinality)
@@ -54,8 +111,11 @@ func (p *Plan) MustCost(bins BinSet) float64 {
 }
 
 // Counts returns the number of uses per bin cardinality — the {τ_l} vector
-// of Definition 3.
+// of Definition 3 — arithmetically from run metadata when run-backed.
 func (p *Plan) Counts() map[int]int {
+	if p.runs != nil {
+		return p.runs.Counts()
+	}
 	out := make(map[int]int)
 	for _, u := range p.Uses {
 		out[u.Cardinality]++
@@ -64,10 +124,18 @@ func (p *Plan) Counts() map[int]int {
 }
 
 // NumUses returns the total number of bin uses (crowd-worker batches).
-func (p *Plan) NumUses() int { return len(p.Uses) }
+func (p *Plan) NumUses() int {
+	if p.runs != nil {
+		return p.runs.NumUses()
+	}
+	return len(p.Uses)
+}
 
 // NumAssignments returns the total number of (task, bin) assignments.
 func (p *Plan) NumAssignments() int {
+	if p.runs != nil {
+		return p.runs.NumAssignments()
+	}
 	n := 0
 	for _, u := range p.Uses {
 		n += len(u.Tasks)
@@ -80,18 +148,22 @@ func (p *Plan) NumAssignments() int {
 // assigned to. Tasks absent from the plan have mass 0.
 func (p *Plan) TransformedMass(n int, bins BinSet) ([]float64, error) {
 	mass := make([]float64, n)
-	for _, u := range p.Uses {
-		b, ok := bins.ByCardinality(u.Cardinality)
+	err := p.EachUse(func(card int, tasks []int) error {
+		b, ok := bins.ByCardinality(card)
 		if !ok {
-			return nil, fmt.Errorf("core: plan uses unknown bin cardinality %d", u.Cardinality)
+			return fmt.Errorf("core: plan uses unknown bin cardinality %d", card)
 		}
 		w := b.Weight()
-		for _, t := range u.Tasks {
+		for _, t := range tasks {
 			if t < 0 || t >= n {
-				return nil, fmt.Errorf("core: plan assigns out-of-range task %d (n=%d)", t, n)
+				return fmt.Errorf("core: plan assigns out-of-range task %d (n=%d)", t, n)
 			}
 			mass[t] += w
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return mass, nil
 }
@@ -116,16 +188,18 @@ func (p *Plan) Reliability(n int, bins BinSet) ([]float64, error) {
 // threshold within RelTol.
 func (p *Plan) Validate(in *Instance) error {
 	n := in.N()
-	for ui, u := range p.Uses {
-		b, ok := in.Bins().ByCardinality(u.Cardinality)
+	ui := 0
+	err := p.EachUse(func(card int, tasks []int) error {
+		defer func() { ui++ }()
+		b, ok := in.Bins().ByCardinality(card)
 		if !ok {
-			return fmt.Errorf("core: use %d refers to unknown bin cardinality %d", ui, u.Cardinality)
+			return fmt.Errorf("core: use %d refers to unknown bin cardinality %d", ui, card)
 		}
-		if len(u.Tasks) > b.Cardinality {
-			return fmt.Errorf("core: use %d holds %d tasks > cardinality %d", ui, len(u.Tasks), b.Cardinality)
+		if len(tasks) > b.Cardinality {
+			return fmt.Errorf("core: use %d holds %d tasks > cardinality %d", ui, len(tasks), b.Cardinality)
 		}
-		seen := make(map[int]struct{}, len(u.Tasks))
-		for _, t := range u.Tasks {
+		seen := make(map[int]struct{}, len(tasks))
+		for _, t := range tasks {
 			if t < 0 || t >= n {
 				return fmt.Errorf("core: use %d assigns out-of-range task %d (n=%d)", ui, t, n)
 			}
@@ -134,6 +208,10 @@ func (p *Plan) Validate(in *Instance) error {
 			}
 			seen[t] = struct{}{}
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	mass, err := p.TransformedMass(n, in.Bins())
 	if err != nil {
@@ -149,27 +227,70 @@ func (p *Plan) Validate(in *Instance) error {
 }
 
 // Merge appends the uses of other to p. It is used to combine per-partition
-// plans in the heterogeneous solver.
+// plans in the heterogeneous solver. Merging demotes a run-backed receiver
+// to the legacy form (other's runs are expanded with fresh storage); the
+// run-native combiner is MergePlans / MergePlanRuns.
 func (p *Plan) Merge(other *Plan) {
+	if p.runs != nil {
+		p.Uses = p.runs.Expand()
+		p.runs = nil
+	}
+	if other.runs != nil {
+		p.Uses = append(p.Uses, other.runs.Expand()...)
+		return
+	}
 	p.Uses = append(p.Uses, other.Uses...)
+}
+
+// empty reports whether the plan holds no uses in either backing.
+func (p *Plan) empty() bool {
+	return p == nil || (len(p.Uses) == 0 && (p.runs == nil || len(p.runs.Runs) == 0))
 }
 
 // MergePlans combines plans (nil entries skipped) into one new plan, in
 // order. Cost is additive: the merged plan's cost is the sum of the parts'
 // costs, and when the parts cover disjoint task sets against a shared menu
-// the merged plan is feasible iff every part is. Task slices are copied, so
-// mutating the merged plan (e.g. OffsetTasks) never touches the inputs. The
-// service layer uses it to reassemble per-shard and per-partition plans.
+// the merged plan is feasible iff every part is. Task storage is copied, so
+// mutating the merged plan (e.g. OffsetTasks) never touches the inputs —
+// which also makes MergePlans(p) the canonical deep copy. When every
+// non-empty input is run-backed the merge stays in run form (arenas
+// concatenated, run offsets rebased — no expansion); any legacy input
+// demotes the whole merge to the legacy copying path. The service layer
+// uses it to reassemble per-shard and per-partition plans.
 func MergePlans(plans ...*Plan) *Plan {
+	runsOnly := false
+	for _, p := range plans {
+		if p.empty() {
+			continue
+		}
+		if p.runs == nil {
+			runsOnly = false
+			break
+		}
+		runsOnly = true
+	}
+	if runsOnly {
+		prs := make([]*PlanRuns, 0, len(plans))
+		for _, p := range plans {
+			if !p.empty() {
+				prs = append(prs, p.runs)
+			}
+		}
+		return NewRunPlan(MergePlanRuns(prs...))
+	}
 	total := 0
 	for _, p := range plans {
 		if p != nil {
-			total += len(p.Uses)
+			total += p.NumUses()
 		}
 	}
 	out := &Plan{Uses: make([]BinUse, 0, total)}
 	for _, p := range plans {
 		if p == nil {
+			continue
+		}
+		if p.runs != nil {
+			out.Uses = append(out.Uses, p.runs.Expand()...)
 			continue
 		}
 		for _, u := range p.Uses {
@@ -184,10 +305,15 @@ func MergePlans(plans ...*Plan) *Plan {
 
 // OffsetTasks shifts every task identifier in the plan by delta. A caller
 // that solves a sub-problem in its own local index space 0..n-1 (the service
-// shards instead pass global ids through SolveWithQueue, so they never need
+// shards instead pass global ids through the solver, so they never need
 // this) offsets the resulting plan to its base index before merging, so the
-// combined plan addresses the global task space.
+// combined plan addresses the global task space. A run-backed plan offsets
+// its arena in one pass. The caller must own the plan exclusively.
 func (p *Plan) OffsetTasks(delta int) {
+	if p.runs != nil {
+		p.runs.OffsetTasks(delta)
+		return
+	}
 	if delta == 0 {
 		return
 	}

@@ -157,14 +157,14 @@ func (pl *Platform) RunPlan(in *core.Instance, plan *core.Plan, truth []bool, di
 		return nil, fmt.Errorf("crowdsim: truth has %d entries for %d tasks", len(truth), in.N())
 	}
 	out := &PlanOutcome{Detected: make([]bool, in.N())}
-	for _, u := range plan.Uses {
-		b, ok := in.Bins().ByCardinality(u.Cardinality)
+	err := plan.EachUse(func(cardinality int, tasks []int) error {
+		b, ok := in.Bins().ByCardinality(cardinality)
 		if !ok {
-			return nil, fmt.Errorf("crowdsim: plan uses unknown bin cardinality %d", u.Cardinality)
+			return fmt.Errorf("crowdsim: plan uses unknown bin cardinality %d", cardinality)
 		}
 		out.TotalCost += b.Cost
-		binTruth := make([]bool, len(u.Tasks))
-		for i, t := range u.Tasks {
+		binTruth := make([]bool, len(tasks))
+		for i, t := range tasks {
 			binTruth[i] = truth[t]
 		}
 		res := pl.RunBin(b.Cardinality, b.Cost, difficulty, binTruth)
@@ -173,13 +173,17 @@ func (pl *Platform) RunPlan(in *core.Instance, plan *core.Plan, truth []bool, di
 		}
 		if res.Overtime {
 			out.OvertimeBins++
-			continue
+			return nil
 		}
-		for i, t := range u.Tasks {
+		for i, t := range tasks {
 			if res.Answers[i] {
 				out.Detected[t] = true
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	detected := 0
 	for i, tv := range truth {

@@ -166,7 +166,7 @@ func ExecuteContext(ctx context.Context, r BinRunner, in *core.Instance, plan *c
 		return nil, err
 	}
 
-	if err := runUses(ctx, r, in, plan.Uses, truth, o, rep); err != nil {
+	if err := runPlan(ctx, r, in, plan, truth, o, rep); err != nil {
 		return nil, err
 	}
 
@@ -182,7 +182,7 @@ func ExecuteContext(ctx context.Context, r BinRunner, in *core.Instance, plan *c
 			break
 		}
 		rep.TopUpRounds++
-		if err := runUses(ctx, r, in, fix.Uses, truth, o, rep); err != nil {
+		if err := runPlan(ctx, r, in, fix, truth, o, rep); err != nil {
 			return nil, err
 		}
 	}
@@ -204,17 +204,25 @@ func ExecuteContext(ctx context.Context, r BinRunner, in *core.Instance, plan *c
 	return rep, nil
 }
 
-// runUses issues each bin use (with retries on overtime) and accumulates
+// runPlan issues each bin use (with retries on overtime) and accumulates
 // detections, delivered mass and spend into the report. The context is
 // checked before every issue so a cancel never pays for another bin.
-func runUses(ctx context.Context, r BinRunner, in *core.Instance, uses []core.BinUse, truth []bool, o Options, rep *Report) error {
-	for _, u := range uses {
-		bin, ok := in.Bins().ByCardinality(u.Cardinality)
+// Uses are streamed straight off the plan — a run-backed plan is never
+// expanded into per-use slices — and the per-bin truth vector is one
+// reusable buffer sized to the menu's largest bin (BinRunner's contract
+// is synchronous: implementations must not retain the slice past RunBin).
+func runPlan(ctx context.Context, r BinRunner, in *core.Instance, plan *core.Plan, truth []bool, o Options, rep *Report) error {
+	scratch := make([]bool, in.Bins().MaxCardinality())
+	return plan.EachUse(func(cardinality int, tasks []int) error {
+		bin, ok := in.Bins().ByCardinality(cardinality)
 		if !ok {
-			return fmt.Errorf("executor: unknown bin cardinality %d", u.Cardinality)
+			return fmt.Errorf("executor: unknown bin cardinality %d", cardinality)
 		}
-		binTruth := make([]bool, len(u.Tasks))
-		for i, t := range u.Tasks {
+		if len(tasks) > len(scratch) { // defensive: an invalid overfull use
+			scratch = make([]bool, len(tasks))
+		}
+		binTruth := scratch[:len(tasks)]
+		for i, t := range tasks {
 			if t < 0 || t >= in.N() {
 				return fmt.Errorf("executor: task %d out of range", t)
 			}
@@ -237,7 +245,7 @@ func runUses(ctx context.Context, r BinRunner, in *core.Instance, uses []core.Bi
 			}
 			completed = true
 			w := bin.Weight()
-			for i, t := range u.Tasks {
+			for i, t := range tasks {
 				rep.DeliveredMass[t] += w
 				if out.Answers[i] {
 					rep.Detected[t] = true
@@ -248,8 +256,8 @@ func runUses(ctx context.Context, r BinRunner, in *core.Instance, uses []core.Bi
 		if !completed {
 			rep.AbandonedBins++
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // topUpPlan builds a greedy plan covering the gap between each task's

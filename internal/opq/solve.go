@@ -36,29 +36,25 @@ func (Solver) Solve(in *core.Instance) (*core.Plan, error) {
 	return SolveWithQueue(q, tasks)
 }
 
-// SolveWithQueue runs Algorithm 3 on the given task identifiers using a
-// pre-built queue. The queue's threshold applies to every task. Sharing a
-// queue across calls is how the evaluation amortizes construction cost, and
-// how the heterogeneous OPQ-Extended algorithm drives per-partition solves.
-func SolveWithQueue(q *Queue, tasks []int) (*core.Plan, error) {
+// planSteps runs Algorithm 3's decision loop for n tasks, emitting each
+// decision instead of materializing assignments: emit(c, blocks, 0) for
+// blocks consecutive full blocks of combination c, emit(c, 0, rem) for one
+// final padded application of c over rem < c.LCM remainder tasks. It is
+// the single control-flow core shared by SolveWithQueue, SolveRuns,
+// PlanCost and the BatchPlanner — the mirrored copies those paths used to
+// carry have been collapsed into it. prev seeds the "previous combination"
+// state, letting the BatchPlanner replay the remainder continuation that
+// follows the initial OPQ1 full-block segment; top-level callers pass nil.
+func planSteps(q *Queue, prev *Comb, n int, emit func(c *Comb, blocks, rem int)) error {
 	if len(q.Elems) == 0 {
-		return nil, fmt.Errorf("opq: empty queue")
+		return fmt.Errorf("opq: empty queue")
 	}
-	if core.Theta(q.Threshold) == 0 {
-		return &core.Plan{}, nil
+	if core.Theta(q.Threshold) == 0 || n == 0 {
+		return nil
 	}
-	plan := &core.Plan{}
 	// Work on a shrinking view of the queue, as Algorithm 3 removes
 	// elements whose block size exceeds the remaining task count.
 	elems := q.Elems
-	prev := (*Comb)(nil)
-	// fallback covers the case where the remainder is smaller than every
-	// block and no combination was applied yet: one padded application of
-	// the cheapest one-shot block.
-	fallback := cheapestBlock(q)
-	pos := 0 // next unassigned task offset
-	n := len(tasks)
-
 	for n > 0 {
 		// Lines 4-5: drop combinations with blocks larger than what's left.
 		for len(elems) > 0 && elems[0].LCM > int64(n) {
@@ -71,34 +67,142 @@ func SolveWithQueue(q *Queue, tasks []int) (*core.Plan, error) {
 			// the main loop never ran.
 			best := prev
 			if best == nil {
-				best = fallback
+				best = cheapestBlock(q)
 			}
-			appendPaddedBlock(plan, best, tasks[pos:])
-			pos += n
-			n = 0
-			break
+			emit(best, 0, n)
+			return nil
 		}
-
-		e := elems[0]
+		e := &elems[0]
 		k := n / int(e.LCM)
 		// Lines 7-10: if covering k blocks with the current combination is
 		// dearer than one padded application of the previous combination,
 		// finish with the previous one.
 		if prev != nil && float64(k)*e.BlockCost() > prev.BlockCost() {
-			appendPaddedBlock(plan, prev, tasks[pos:])
-			pos += n
-			n = 0
-			break
+			emit(prev, 0, n)
+			return nil
 		}
-		// Lines 12-15: assign k full blocks.
-		for b := 0; b < k; b++ {
-			appendFullBlock(plan, &e, tasks[pos:pos+int(e.LCM)])
-			pos += int(e.LCM)
-		}
+		// Lines 12-15: assign k full blocks (k ≥ 1 after the trim above).
+		emit(e, k, 0)
 		n -= k * int(e.LCM)
-		prev = &e
+		prev = e
 	}
-	return plan, nil
+	return nil
+}
+
+// specCache memoizes the core.RunComb built per distinct combination of
+// one solve (or one BatchPlanner lifetime). Plans from the same queue
+// share comb specs, so a solve allocates at most one spec per queue
+// element it actually applies.
+type specCache struct {
+	srcs  []*Comb
+	specs []*core.RunComb
+}
+
+// spec returns the (memoized) run recipe for c.
+func (sc *specCache) spec(c *Comb) *core.RunComb {
+	for i, s := range sc.srcs {
+		if s == c {
+			return sc.specs[i]
+		}
+	}
+	parts := make([]core.RunPart, 0, len(c.counts))
+	for bi, nk := range c.counts {
+		if nk == 0 {
+			continue
+		}
+		parts = append(parts, core.RunPart{Cardinality: c.bins.At(bi).Cardinality, Count: nk})
+	}
+	rc := &core.RunComb{Parts: parts, BlockLen: int(c.LCM)}
+	sc.srcs = append(sc.srcs, c)
+	sc.specs = append(sc.specs, rc)
+	return rc
+}
+
+// appendRuns appends the run sequence for n tasks (arena offsets starting
+// at off) to runs, threading comb specs through the cache.
+func appendRuns(runs []core.BlockRun, sc *specCache, q *Queue, prev *Comb, off, n int) ([]core.BlockRun, error) {
+	pos := off
+	err := planSteps(q, prev, n, func(c *Comb, blocks, rem int) {
+		ln := blocks * int(c.LCM)
+		if blocks == 0 {
+			ln = rem
+		}
+		runs = append(runs, core.BlockRun{Comb: sc.spec(c), Blocks: blocks, Off: pos, Len: ln})
+		pos += ln
+	})
+	return runs, err
+}
+
+// SolveRuns runs Algorithm 3 on the given task identifiers using a
+// pre-built queue and returns the plan in compact block-run form: run
+// metadata over one arena holding a copy of tasks, with no per-use
+// allocation — the representation the serving layer keeps end to end,
+// expanding only at the JSON edge. The queue's threshold applies to every
+// task; sharing a queue across calls is how the evaluation amortizes
+// construction cost, and how the heterogeneous OPQ-Extended algorithm
+// drives per-partition solves. Task ids must be distinct: the block
+// expansion places ids positionally (and the padded block dedups by
+// position), so a duplicate would occupy two slots of one bin and yield
+// a plan that fails core.Plan.Validate — the same precondition the
+// expansion has always had, which the service layer enforces at
+// submission.
+func SolveRuns(q *Queue, tasks []int) (*core.PlanRuns, error) {
+	pr, err := solveSized(q, len(tasks))
+	if err != nil {
+		return nil, err
+	}
+	copy(pr.Arena, tasks)
+	return pr, nil
+}
+
+// SolveRunsRange is SolveRuns for the contiguous task ids
+// base..base+n-1, filling the arena directly instead of copying a
+// caller-built slice — the shape the service's homogeneous shard path
+// uses.
+func SolveRunsRange(q *Queue, base, n int) (*core.PlanRuns, error) {
+	pr, err := solveSized(q, n)
+	if err != nil {
+		return nil, err
+	}
+	for i := range pr.Arena {
+		pr.Arena[i] = base + i
+	}
+	return pr, nil
+}
+
+// solveSized plans the runs for n tasks and allocates the (unfilled)
+// arena.
+func solveSized(q *Queue, n int) (*core.PlanRuns, error) {
+	pr := &core.PlanRuns{}
+	if n == 0 {
+		if len(q.Elems) == 0 {
+			return nil, fmt.Errorf("opq: empty queue")
+		}
+		return pr, nil
+	}
+	var sc specCache
+	runs, err := appendRuns(nil, &sc, q, nil, 0, n)
+	if err != nil {
+		return nil, err
+	}
+	pr.Runs = runs
+	if len(runs) > 0 {
+		pr.Arena = make([]int, n)
+	}
+	return pr, nil
+}
+
+// SolveWithQueue is the legacy-form entry: Algorithm 3 on the given task
+// identifiers, returning a fully materialized Plan whose use list is
+// byte-identical to what the historical per-use expansion emitted (the
+// equivalence test pins this against the old expansion, use for use).
+// Callers on the hot path should prefer SolveRuns and defer expansion.
+func SolveWithQueue(q *Queue, tasks []int) (*core.Plan, error) {
+	pr, err := SolveRuns(q, tasks)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Plan{Uses: pr.Expand()}, nil
 }
 
 // cheapestBlock returns the queue element with the smallest one-shot block
@@ -113,102 +217,92 @@ func cheapestBlock(q *Queue) *Comb {
 	return best
 }
 
-// appendFullBlock expands one application of the combination over a block of
-// exactly LCM tasks: for every bin k used n_k times, the block sequence is
-// repeated n_k times and chunked into groups of k, so each task lands in
-// exactly n_k distinct k-cardinality bins (Figure 5 of the paper).
-func appendFullBlock(plan *core.Plan, c *Comb, block []int) {
-	for bi, nk := range c.counts {
-		if nk == 0 {
-			continue
-		}
-		card := c.bins.At(bi).Cardinality
-		for rep := 0; rep < nk; rep++ {
-			for start := 0; start < len(block); start += card {
-				use := core.BinUse{Cardinality: card}
-				use.Tasks = append(use.Tasks, block[start:start+card]...)
-				plan.Uses = append(plan.Uses, use)
-			}
-		}
-	}
-}
-
-// appendPaddedBlock expands one application of the combination over fewer
-// than LCM tasks by cycling the remainder to fill the block, dropping
-// duplicate tasks within a single bin. Every task still receives at least
-// n_k assignments per used cardinality k, so feasibility is preserved; the
-// full block cost is paid, matching Algorithm 3's over-provisioned final
-// step.
-func appendPaddedBlock(plan *core.Plan, c *Comb, rem []int) {
-	if len(rem) == 0 {
-		return
-	}
-	L := int(c.LCM)
-	padded := make([]int, L)
-	for i := 0; i < L; i++ {
-		padded[i] = rem[i%len(rem)]
-	}
-	for bi, nk := range c.counts {
-		if nk == 0 {
-			continue
-		}
-		card := c.bins.At(bi).Cardinality
-		for rep := 0; rep < nk; rep++ {
-			for start := 0; start < L; start += card {
-				use := core.BinUse{Cardinality: card}
-				seen := make(map[int]struct{}, card)
-				for _, t := range padded[start : start+card] {
-					if _, dup := seen[t]; dup {
-						continue
-					}
-					seen[t] = struct{}{}
-					use.Tasks = append(use.Tasks, t)
-				}
-				plan.Uses = append(plan.Uses, use)
-			}
-		}
-	}
-}
-
 // PlanCost predicts the cost Algorithm 3 will incur for n tasks without
-// materializing assignments. It mirrors SolveWithQueue's control flow and is
-// used by capacity planning and by tests.
+// materializing assignments. It sums block costs over the same planSteps
+// decisions SolveRuns turns into a plan, so it can no longer drift from
+// the solver's control flow.
 func PlanCost(q *Queue, n int) (float64, error) {
-	if len(q.Elems) == 0 {
-		return 0, fmt.Errorf("opq: empty queue")
-	}
-	if core.Theta(q.Threshold) == 0 || n == 0 {
-		return 0, nil
-	}
-	elems := q.Elems
-	prev := (*Comb)(nil)
-	fallback := cheapestBlock(q)
 	cost := 0.0
-	for n > 0 {
-		for len(elems) > 0 && elems[0].LCM > int64(n) {
-			elems = elems[1:]
+	err := planSteps(q, nil, n, func(c *Comb, blocks, rem int) {
+		if blocks == 0 {
+			cost += c.BlockCost()
+			return
 		}
-		if len(elems) == 0 {
-			best := prev
-			if best == nil {
-				best = fallback
-			}
-			cost += best.BlockCost()
-			n = 0
-			break
-		}
-		e := elems[0]
-		k := n / int(e.LCM)
-		if prev != nil && float64(k)*e.BlockCost() > prev.BlockCost() {
-			cost += prev.BlockCost()
-			n = 0
-			break
-		}
-		cost += float64(k) * e.BlockCost()
-		n -= k * int(e.LCM)
-		prev = &e
+		cost += float64(blocks) * c.BlockCost()
+	})
+	if err != nil {
+		return 0, err
 	}
 	return cost, nil
+}
+
+// BatchPlanner amortizes same-queue solves across many instance sizes —
+// the cross-shape sharing behind the serving layer's request batcher. Any
+// size n ≥ L (L = OPQ1.LCM) decomposes as k = ⌊n/L⌋ full OPQ1 blocks
+// followed by a remainder continuation that depends only on n mod L: once
+// at least one OPQ1 block is taken, Algorithm 3 enters the remainder with
+// prev = OPQ1 regardless of k, so members whose sizes differ only in the
+// full-block count reuse one representative's remainder run sequence, and
+// members that share a remainder share it outright — each solve reduces
+// to one full-block run plus a memoized suffix. Emitted plans are
+// bit-identical to direct SolveRuns output (pinned by test).
+//
+// Not safe for concurrent use; the batcher builds one per flush.
+type BatchPlanner struct {
+	q  *Queue
+	sc specCache
+	// remRuns memoizes the remainder continuation per n mod L, with
+	// arena offsets relative to the remainder's start.
+	remRuns map[int][]core.BlockRun
+}
+
+// NewBatchPlanner builds a planner over a shared read-only queue.
+func NewBatchPlanner(q *Queue) (*BatchPlanner, error) {
+	if len(q.Elems) == 0 {
+		return nil, fmt.Errorf("opq: empty queue")
+	}
+	return &BatchPlanner{q: q, remRuns: make(map[int][]core.BlockRun)}, nil
+}
+
+// Solve plans n tasks with local ids 0..n-1 (the id space every batched
+// request lives in) in compact run form.
+func (bp *BatchPlanner) Solve(n int) (*core.PlanRuns, error) {
+	pr := &core.PlanRuns{}
+	if n == 0 || core.Theta(bp.q.Threshold) == 0 {
+		return pr, nil
+	}
+	L := int(bp.q.Elems[0].LCM)
+	if n < L {
+		// Smaller than the optimal block: no full-block prefix to share.
+		runs, err := appendRuns(nil, &bp.sc, bp.q, nil, 0, n)
+		if err != nil {
+			return nil, err
+		}
+		pr.Runs = runs
+	} else {
+		k, rem := n/L, n%L
+		suffix, ok := bp.remRuns[rem]
+		if !ok {
+			var err error
+			suffix, err = appendRuns(nil, &bp.sc, bp.q, &bp.q.Elems[0], 0, rem)
+			if err != nil {
+				return nil, err
+			}
+			bp.remRuns[rem] = suffix
+		}
+		runs := make([]core.BlockRun, 0, 1+len(suffix))
+		runs = append(runs, core.BlockRun{Comb: bp.sc.spec(&bp.q.Elems[0]), Blocks: k, Off: 0, Len: k * L})
+		for _, r := range suffix {
+			r.Off += k * L
+			runs = append(runs, r)
+		}
+		pr.Runs = runs
+	}
+	pr.Arena = make([]int, n)
+	for i := range pr.Arena {
+		pr.Arena[i] = i
+	}
+	return pr, nil
 }
 
 // ApproxRatioBound returns the Theorem-2 approximation guarantee log2(n)

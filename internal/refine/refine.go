@@ -44,8 +44,9 @@ func Refine(in *core.Instance, plan *core.Plan) (*Result, error) {
 	if err := plan.Validate(in); err != nil {
 		return nil, fmt.Errorf("refine: input plan must be feasible: %w", err)
 	}
-	work := &core.Plan{Uses: make([]core.BinUse, len(plan.Uses))}
-	for i, u := range plan.Uses {
+	src := plan.Materialized() // run-backed input plans refine like legacy ones
+	work := &core.Plan{Uses: make([]core.BinUse, len(src))}
+	for i, u := range src {
 		work.Uses[i] = core.BinUse{Cardinality: u.Cardinality, Tasks: append([]int(nil), u.Tasks...)}
 	}
 	costBefore, err := work.Cost(in.Bins())

@@ -129,7 +129,9 @@ func handleDecompose(s *Service, w http.ResponseWriter, r *http.Request) {
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
 	}
 	if req.IncludePlan {
-		resp.Plan = plan.Uses
+		// Materialize lazily, only because the caller asked for per-use
+		// task lists; the solve itself stays in compact run form.
+		resp.Plan = plan.Materialized()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -298,7 +300,7 @@ func handleJobStatus(s *Service, w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusInternalServerError, err)
 			return
 		}
-		resp.Plan = plan.Uses
+		resp.Plan = plan.Materialized()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -252,45 +252,50 @@ func (b *batcher) flush(pb *pendingBatch, timedOut bool) {
 }
 
 // repSolve is the shared solve of one distinct request size: the
-// block-aligned plan for tasks 0..n-1 plus its summary, which every
-// same-size member's stamped copy shares verbatim.
+// block-aligned run-form plan for tasks 0..n-1 plus its summary, which
+// every same-size member's stamped copy shares verbatim.
 type repSolve struct {
-	plan        *core.Plan
-	summary     *PlanSummary
-	assignments int // total task slots, sizing the stamp backing array
+	runs    *core.PlanRuns
+	plan    *core.Plan
+	summary *PlanSummary
 }
 
-// solve performs the batch's shared work: one representative solve per
-// distinct member size (through the cached + sharded path — the batch
-// solve is deliberately detached from any single member's context, since
-// its result serves every sibling), then one stamped copy per additional
-// same-size member. Cost parity is structural: a member's plan is a copy
-// of the representative, whose use multiset is exactly the unbatched
-// solve's.
+// solve performs the batch's shared work: one opq.BatchPlanner solve per
+// distinct member size over the key's cached queue (the batch solve is
+// deliberately detached from any single member's context, since its
+// result serves every sibling), then one stamped run-form copy per
+// additional same-size member. The planner adds cross-shape sharing on
+// top of same-shape stamping: members whose sizes differ only in the
+// remainder reuse the representative's full-block run and memoized
+// remainder continuation, solving nothing but their own suffix — and the
+// planner's output is pinned bit-identical to a direct solve, so cost
+// parity stays structural: a member's plan carries exactly the use
+// multiset its unbatched solve would.
 func (b *batcher) solve(pb *pendingBatch, members []*batchMember) ([]*core.Plan, []*PlanSummary, error) {
+	q, err := b.svc.cache.Get(pb.bins, pb.threshold)
+	if err != nil {
+		return nil, nil, err
+	}
+	bp, err := opq.NewBatchPlanner(q)
+	if err != nil {
+		return nil, nil, err
+	}
 	reps := make(map[int]*repSolve)
 	for _, m := range members {
 		if _, ok := reps[m.n]; ok {
 			continue
 		}
-		in, err := core.NewHomogeneous(pb.bins, m.n, pb.threshold)
+		pr, err := bp.Solve(m.n)
 		if err != nil {
 			return nil, nil, err
 		}
-		plan, err := b.svc.sharded.SolveContext(context.Background(), in)
-		if err != nil {
-			return nil, nil, err
-		}
+		plan := core.NewRunPlan(pr)
 		sum, err := plan.Summarize(pb.bins)
 		if err != nil {
 			return nil, nil, fmt.Errorf("%w: %v", errSummarize, err)
 		}
 		ps := NewPlanSummary(sum)
-		rs := &repSolve{plan: plan, summary: &ps}
-		for _, u := range plan.Uses {
-			rs.assignments += len(u.Tasks)
-		}
-		reps[m.n] = rs
+		reps[m.n] = &repSolve{runs: pr, plan: plan, summary: &ps}
 	}
 
 	// Deliver per-member plans. Conceptually this is the MergePlans/
@@ -298,10 +303,11 @@ func (b *batcher) solve(pb *pendingBatch, members []*batchMember) ([]*core.Plan,
 	// stream.SplitPlan split-back; because member i's slice of the merged
 	// plan is exactly its representative shifted by its offset, shifting
 	// there and back cancels, so the two steps fuse into emitting each
-	// member's copy directly in local id space — one allocation-lean
-	// stamp per member, no merged-plan materialization on the hot path.
-	// (The batch tests re-materialize the merged plan from these results
-	// and assert stream.SplitPlan inverts it, pinning the equivalence.)
+	// member's copy directly in local id space — a run-form clone (arena +
+	// run metadata, three allocations regardless of use count), no
+	// expansion anywhere on the hot path. (The batch tests re-materialize
+	// the merged plan from these results and assert stream.SplitPlan
+	// inverts it, pinning the equivalence.)
 	plans := make([]*core.Plan, len(members))
 	sums := make([]*PlanSummary, len(members))
 	repUsed := make(map[int]bool, len(reps))
@@ -314,26 +320,9 @@ func (b *batcher) solve(pb *pendingBatch, members []*batchMember) ([]*core.Plan,
 			plans[i] = rep.plan
 			continue
 		}
-		plans[i] = stampLocal(rep)
+		plans[i] = core.NewRunPlan(rep.runs.Clone())
 	}
 	return plans, sums, nil
-}
-
-// stampLocal copies a representative plan for one more same-size member:
-// same use multiset (hence the exact unbatched cost), same local task
-// ids, fresh storage. One backing array serves all task slices, so a
-// stamp costs three allocations regardless of use count.
-func stampLocal(rep *repSolve) *core.Plan {
-	backing := make([]int, rep.assignments)
-	uses := make([]core.BinUse, len(rep.plan.Uses))
-	pos := 0
-	for i, u := range rep.plan.Uses {
-		tasks := backing[pos : pos+len(u.Tasks)]
-		copy(tasks, u.Tasks)
-		uses[i] = core.BinUse{Cardinality: u.Cardinality, Tasks: tasks}
-		pos += len(u.Tasks)
-	}
-	return &core.Plan{Uses: uses}
 }
 
 // BatchStats reports the request batcher's effectiveness; served inside

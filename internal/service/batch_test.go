@@ -151,11 +151,19 @@ func TestBatchWindowTimeoutFlush(t *testing.T) {
 // finish the test in time.
 func TestBatchDrainHandoffFlushesWithoutWindow(t *testing.T) {
 	menu := binset.Table1()
-	// Big enough that the first flush's solve comfortably outlasts the
-	// µs-scale joins of the remaining members.
-	in := core.MustHomogeneous(menu, 500_000, 0.95)
+	in := core.MustHomogeneous(menu, 500, 0.95)
 	svc := New(Config{Workers: 2, BatchWindow: time.Minute, BatchMaxRequests: 2})
 	defer svc.Close()
+	// The run-form solve is too fast to outlast even µs-scale joins, so
+	// slow the first flush down deterministically instead: its cold
+	// cache.Get pays this injected build delay, guaranteeing the third
+	// member joins the successor batch while the first flush is still in
+	// flight.
+	svc.cache = NewOPQCacheWithBuilder(DefaultCacheSize, func(bins core.BinSet, th float64) (*opq.Queue, error) {
+		time.Sleep(300 * time.Millisecond)
+		return opq.Build(bins, th)
+	})
+	svc.sharded.Cache = svc.cache
 
 	var wg sync.WaitGroup
 	errs := make([]error, 3)

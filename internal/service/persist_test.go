@@ -78,8 +78,8 @@ func TestJobsSpillAndReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(plan.Uses) != len(firstPlan.Uses) {
-		t.Fatalf("recovered plan has %d uses, want %d", len(plan.Uses), len(firstPlan.Uses))
+	if plan.NumUses() != firstPlan.NumUses() {
+		t.Fatalf("recovered plan has %d uses, want %d", plan.NumUses(), firstPlan.NumUses())
 	}
 	if got := svc2.Jobs().Stats().Recovered; got != 1 {
 		t.Fatalf("recovered counter: %d", got)

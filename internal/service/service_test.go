@@ -476,7 +476,7 @@ func TestStreamPlannerReuseViaReset(t *testing.T) {
 	if p.EmittedCost() != cost1 {
 		t.Fatalf("second stream cost %v != first %v", p.EmittedCost(), cost1)
 	}
-	if len(first.Uses) != len(second.Uses) {
-		t.Fatalf("second stream shape differs: %d vs %d uses", len(second.Uses), len(first.Uses))
+	if first.NumUses() != second.NumUses() {
+		t.Fatalf("second stream shape differs: %d vs %d uses", second.NumUses(), first.NumUses())
 	}
 }

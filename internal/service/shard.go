@@ -77,10 +77,23 @@ func (s *ShardedSolver) SolveContext(ctx context.Context, in *core.Instance) (*c
 	return s.run(ctx, shards)
 }
 
-// shardJob is one unit of work: a task slice solved against one queue.
+// shardJob is one unit of work against one queue: either a contiguous
+// global-id range base..base+n-1 (tasks nil — the homogeneous path, which
+// never materializes an id slice) or an explicit task-id slice (a
+// heterogeneous partition's arbitrary ids).
 type shardJob struct {
 	queue *opq.Queue
 	tasks []int
+	base  int
+	n     int
+}
+
+// solve runs the job's compact run-form solve.
+func (j *shardJob) solve() (*core.PlanRuns, error) {
+	if j.tasks == nil {
+		return opq.SolveRunsRange(j.queue, j.base, j.n)
+	}
+	return opq.SolveRuns(j.queue, j.tasks)
 }
 
 // plan splits the instance into shard jobs. Homogeneous instances shard
@@ -93,11 +106,11 @@ func (s *ShardedSolver) plan(in *core.Instance) ([]shardJob, error) {
 		if err != nil {
 			return nil, err
 		}
-		tasks := make([]int, in.N())
-		for i := range tasks {
-			tasks[i] = i
+		var jobs []shardJob
+		for _, sp := range s.spans(q, in.N()) {
+			jobs = append(jobs, shardJob{queue: q, base: sp[0], n: sp[1]})
 		}
-		return s.split(q, tasks), nil
+		return jobs, nil
 	}
 
 	set, err := hetero.BuildSetWith(in, s.Cache.Get)
@@ -109,33 +122,35 @@ func (s *ShardedSolver) plan(in *core.Instance) ([]shardJob, error) {
 		if len(part.Tasks) == 0 {
 			continue
 		}
-		jobs = append(jobs, s.split(part.Queue, part.Tasks)...)
+		for _, sp := range s.spans(part.Queue, len(part.Tasks)) {
+			jobs = append(jobs, shardJob{queue: part.Queue, tasks: part.Tasks[sp[0] : sp[0]+sp[1]]})
+		}
 	}
 	return jobs, nil
 }
 
-// split cuts one homogeneous task slice into block-aligned shards: every
-// shard but the last is an exact multiple of the queue's optimal block size
-// LCM₁, and the last also carries the remainder, mirroring the unsharded
-// Algorithm-3 control flow exactly.
-func (s *ShardedSolver) split(q *opq.Queue, tasks []int) []shardJob {
+// spans cuts n tasks into block-aligned (offset, length) shards: every
+// shard but the last is an exact multiple of the queue's optimal block
+// size LCM₁, and the last also carries the remainder, mirroring the
+// unsharded Algorithm-3 control flow exactly.
+func (s *ShardedSolver) spans(q *opq.Queue, n int) [][2]int {
 	blockSize := int(q.Elems[0].LCM)
 	minBlocks := s.MinShardBlocks
 	if minBlocks <= 0 {
 		minBlocks = DefaultMinShardBlocks
 	}
-	fullBlocks := len(tasks) / blockSize
+	fullBlocks := n / blockSize
 	shards := s.workers()
 	if maxUseful := fullBlocks / minBlocks; shards > maxUseful {
 		shards = maxUseful
 	}
 	if shards <= 1 {
-		return []shardJob{{queue: q, tasks: tasks}}
+		return [][2]int{{0, n}}
 	}
 
 	blocksPer := fullBlocks / shards
 	extra := fullBlocks % shards
-	jobs := make([]shardJob, 0, shards)
+	spans := make([][2]int, 0, shards)
 	pos := 0
 	for i := 0; i < shards; i++ {
 		size := blocksPer * blockSize
@@ -144,25 +159,30 @@ func (s *ShardedSolver) split(q *opq.Queue, tasks []int) []shardJob {
 		}
 		end := pos + size
 		if i == shards-1 {
-			end = len(tasks) // remainder rides with the final shard
+			end = n // remainder rides with the final shard
 		}
-		jobs = append(jobs, shardJob{queue: q, tasks: tasks[pos:end]})
+		spans = append(spans, [2]int{pos, end - pos})
 		pos = end
 	}
-	return jobs
+	return spans
 }
 
-// run executes the shard jobs on a bounded worker pool and merges the plans
-// in job order.
+// run executes the shard jobs on a bounded worker pool and merges the
+// run-form plans in job order — run metadata concatenates and the arenas
+// copy once; no per-use expansion happens anywhere on this path.
 func (s *ShardedSolver) run(ctx context.Context, jobs []shardJob) (*core.Plan, error) {
 	if len(jobs) == 1 {
 		// Fast path: no pool, no merge.
-		return opq.SolveWithQueue(jobs[0].queue, jobs[0].tasks)
+		pr, err := jobs[0].solve()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewRunPlan(pr), nil
 	}
 
 	workers := s.workers()
 	sem := make(chan struct{}, workers)
-	plans := make([]*core.Plan, len(jobs))
+	runs := make([]*core.PlanRuns, len(jobs))
 	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup
 	for i := range jobs {
@@ -175,7 +195,7 @@ func (s *ShardedSolver) run(ctx context.Context, jobs []shardJob) (*core.Plan, e
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			plans[i], errs[i] = opq.SolveWithQueue(jobs[i].queue, jobs[i].tasks)
+			runs[i], errs[i] = jobs[i].solve()
 		}(i)
 	}
 	wg.Wait()
@@ -185,7 +205,7 @@ func (s *ShardedSolver) run(ctx context.Context, jobs []shardJob) (*core.Plan, e
 			return nil, err
 		}
 	}
-	return core.MergePlans(plans...), nil
+	return core.NewRunPlan(core.MergePlanRuns(runs...)), nil
 }
 
 // workers resolves the effective pool size.

@@ -23,26 +23,27 @@ import (
 // Cost splits exactly: because uses partition without overlap, the per-
 // caller costs sum to the merged plan's cost.
 //
-// SplitPlan takes ownership of merged: task slices are rebased in place
+// SplitPlan takes ownership of merged: task storage is rebased in place
 // and reused by the returned plans (no copying), so the merged plan must
 // not be read or reused after the call. Callers that need the merged plan
 // intact should pass a deep copy (core.MergePlans(merged) makes one).
+//
+// A run-backed merged plan (the form core.MergePlans produces from
+// run-backed parts) splits in run form: runs are attributed to owners and
+// the shared arena is rebased in one pass, without expanding a single
+// use. The returned plans then share the merged arena — the same
+// storage-reuse contract the legacy path has always had.
 func SplitPlan(merged *core.Plan, sizes []int) ([]*core.Plan, error) {
 	if merged == nil {
 		return nil, fmt.Errorf("stream: split of a nil plan")
 	}
-	if len(sizes) == 0 {
-		return nil, fmt.Errorf("stream: split needs at least one caller size")
+	offsets, total, err := splitOffsets(sizes)
+	if err != nil {
+		return nil, err
 	}
-	// offsets[i] is the first global id of caller i; offsets[k] the total.
-	offsets := make([]int, len(sizes)+1)
-	for i, n := range sizes {
-		if n < 0 {
-			return nil, fmt.Errorf("stream: negative caller size %d at index %d", n, i)
-		}
-		offsets[i+1] = offsets[i] + n
+	if pr := merged.Runs(); pr != nil {
+		return splitRuns(pr, sizes, offsets, total)
 	}
-	total := offsets[len(sizes)]
 
 	out := make([]*core.Plan, len(sizes))
 	for i := range out {
@@ -78,6 +79,112 @@ func SplitPlan(merged *core.Plan, sizes []int) ([]*core.Plan, error) {
 			u.Tasks[ti] = t - lo // rebase in place; we own the slice
 		}
 		out[owner].Uses = append(out[owner].Uses, *u)
+	}
+	return out, nil
+}
+
+// splitOffsets validates the caller sizes and returns the prefix-sum
+// offsets (offsets[i] is caller i's first global id) and the total.
+func splitOffsets(sizes []int) ([]int, int, error) {
+	if len(sizes) == 0 {
+		return nil, 0, fmt.Errorf("stream: split needs at least one caller size")
+	}
+	offsets := make([]int, len(sizes)+1)
+	for i, n := range sizes {
+		if n < 0 {
+			return nil, 0, fmt.Errorf("stream: negative caller size %d at index %d", n, i)
+		}
+		offsets[i+1] = offsets[i] + n
+	}
+	return offsets, offsets[len(sizes)], nil
+}
+
+// splitRuns is the run-form split: each run's arena window is attributed
+// to the caller owning its first task (a run that spans two callers is
+// cross-request leakage and fails, exactly like a spanning use on the
+// legacy path) and rebased in place. Every output plan then gets an
+// arena covering only its own windows — a disjoint subslice of the
+// merged arena when the owner's runs are contiguous (the shape
+// core.MergePlans produces; zero copy), a fresh copy otherwise — so
+// mutating one output (OffsetTasks) can never corrupt a sibling, the
+// same isolation the legacy path's disjoint use windows provided.
+func splitRuns(merged *core.PlanRuns, sizes, offsets []int, total int) ([]*core.Plan, error) {
+	type ownerAcc struct {
+		runs []core.BlockRun
+		// minOff/nextOff track the owner's windows; contiguous stays true
+		// while they form one ascending gap-free region of the arena.
+		minOff, nextOff, total int
+		contiguous             bool
+	}
+	parts := make([]ownerAcc, len(sizes))
+	for i := range parts {
+		parts[i].contiguous = true
+	}
+	owner := 0
+	for ri := range merged.Runs {
+		r := &merged.Runs[ri]
+		if r.Len == 0 {
+			return nil, fmt.Errorf("stream: run %d has no tasks to attribute an owner by", ri)
+		}
+		if r.Off < 0 || r.Off+r.Len > len(merged.Arena) {
+			return nil, fmt.Errorf("stream: run %d window [%d,%d) outside the arena", ri, r.Off, r.Off+r.Len)
+		}
+		window := merged.Arena[r.Off : r.Off+r.Len]
+		first := window[0]
+		if first < 0 || first >= total {
+			return nil, fmt.Errorf("stream: run %d task %d outside the merged space [0,%d)", ri, first, total)
+		}
+		// Cursor walk for the common caller-by-caller order, binary search
+		// for arbitrary orders — same strategy as the legacy path.
+		for first >= offsets[owner+1] {
+			owner++
+		}
+		if first < offsets[owner] {
+			owner = sort.Search(len(sizes), func(i int) bool { return offsets[i+1] > first })
+		}
+		lo, hi := offsets[owner], offsets[owner+1]
+		for wi, t := range window {
+			if t < lo || t >= hi {
+				return nil, fmt.Errorf("stream: run %d leaks across callers: task %d outside owner %d's range [%d,%d)", ri, t, owner, lo, hi)
+			}
+			window[wi] = t - lo // rebase in place; we own the storage
+		}
+		acc := &parts[owner]
+		if len(acc.runs) == 0 {
+			acc.minOff, acc.nextOff = r.Off, r.Off
+		}
+		if r.Off != acc.nextOff {
+			acc.contiguous = false
+		}
+		acc.nextOff = r.Off + r.Len
+		acc.total += r.Len
+		acc.runs = append(acc.runs, *r)
+	}
+
+	out := make([]*core.Plan, len(sizes))
+	for i := range parts {
+		acc := &parts[i]
+		pr := &core.PlanRuns{Runs: acc.runs}
+		switch {
+		case len(acc.runs) == 0:
+			// No uses for this caller; empty run-backed plan.
+		case acc.contiguous:
+			pr.Arena = merged.Arena[acc.minOff : acc.minOff+acc.total]
+			for ri := range pr.Runs {
+				pr.Runs[ri].Off -= acc.minOff
+			}
+		default:
+			// Scattered windows: copy them into an owner-private arena.
+			arena := make([]int, 0, acc.total)
+			for ri := range pr.Runs {
+				r := &pr.Runs[ri]
+				off := len(arena)
+				arena = append(arena, merged.Arena[r.Off:r.Off+r.Len]...)
+				r.Off = off
+			}
+			pr.Arena = arena
+		}
+		out[i] = core.NewRunPlan(pr)
 	}
 	return out, nil
 }

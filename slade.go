@@ -71,8 +71,13 @@ type (
 	BinSet = core.BinSet
 	// Instance is a SLADE problem: a menu plus per-task thresholds.
 	Instance = core.Instance
-	// Plan is a decomposition plan: bin uses with task placements.
+	// Plan is a decomposition plan: bin uses with task placements. Plans
+	// from the hot-path solvers are backed by the compact PlanRuns form
+	// and materialize per-use views lazily (Plan.Materialized).
 	Plan = core.Plan
+	// PlanRuns is the compact block-run plan form: run metadata over one
+	// task-id arena, expanded only where per-use lists are truly needed.
+	PlanRuns = core.PlanRuns
 	// BinUse is one bin use within a plan.
 	BinUse = core.BinUse
 	// Summary is a compact plan description (uses per cardinality, cost).
@@ -139,8 +144,17 @@ func NewBaseline(seed int64) Solver { return baseline.Solver{Seed: seed} }
 func BuildOPQ(bins BinSet, t float64) (*OPQ, error) { return opq.Build(bins, t) }
 
 // SolveWithOPQ runs Algorithm 3 over the given task identifiers with a
-// pre-built queue.
+// pre-built queue, returning the fully expanded legacy plan form.
 func SolveWithOPQ(q *OPQ, tasks []int) (*Plan, error) { return opq.SolveWithQueue(q, tasks) }
+
+// SolveRunsWithOPQ is SolveWithOPQ in compact block-run form: no per-use
+// allocation, constant allocations regardless of task count. Wrap the
+// result with NewRunPlan for the full Plan API; expansion happens lazily
+// on first Materialized call.
+func SolveRunsWithOPQ(q *OPQ, tasks []int) (*PlanRuns, error) { return opq.SolveRuns(q, tasks) }
+
+// NewRunPlan wraps a compact run-backed plan in the Plan API.
+func NewRunPlan(pr *PlanRuns) *Plan { return core.NewRunPlan(pr) }
 
 // Decompose solves the instance with the paper's recommended algorithm for
 // its shape: OPQ-Based for homogeneous thresholds, OPQ-Extended otherwise.

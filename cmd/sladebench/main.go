@@ -10,6 +10,7 @@
 //	sladebench -serve -bench-json BENCH_serve.json  # + machine-readable results
 //	sladebench -solve-bench -solve-json BENCH_solve.json -solve-alloc-budget 24
 //	                               # hot-path solve benchmark + allocs/op gate
+//	sladebench -metrics            # smoke-test the /metrics exposition
 //
 // -serve boots an in-process sladed service, fires warm- and cold-cache
 // decompose requests plus an async solve job and a "kind":"run" execution
@@ -26,6 +27,13 @@
 // -solve-alloc-budget fails the run if the cached solve+materialize path
 // allocates more than the committed budget per op — the regression gate for
 // the zero-allocation pipeline.
+//
+// -metrics is the observability gate CI runs: it boots the service, drives
+// one request through every HTTP route (including an executed run job),
+// scrapes GET /metrics, and validates the payload with the in-repo
+// Prometheus exposition linter — every route series and every per-stage
+// metric family must be present. The -serve smoke also scrapes /metrics
+// under warm decompose load and records the scrape latency in its JSON.
 //
 // Figure identifiers follow the paper: 6a/6c (Jelly, t vs cost/time),
 // 6b/6d (SMIC), 6e/6g and 6f/6h (|B| sweeps), 6i/6k and 6j/6l (scalability),
@@ -50,8 +58,16 @@ func main() {
 	solve := flag.Bool("solve-bench", false, "benchmark the decomposition hot path (cold vs cached, allocs/op) instead of regenerating figures")
 	solveJSON := flag.String("solve-json", "", "with -solve-bench, also write the measurements as JSON to this path")
 	solveBudget := flag.Int64("solve-alloc-budget", 0, "with -solve-bench, fail if cached solve+materialize exceeds this many allocs/op (0 = no gate)")
+	metrics := flag.Bool("metrics", false, "smoke-test the /metrics exposition: drive every route, scrape, and lint")
 	flag.Parse()
 
+	if *metrics {
+		if err := runMetricsSmoke(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "sladebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *serve {
 		if err := runServeSmoke(os.Stdout, *benchJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "sladebench:", err)

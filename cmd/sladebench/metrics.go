@@ -1,0 +1,203 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+
+	slade "repro"
+	"repro/internal/obs"
+)
+
+// metricsRoutes is every HTTP route the service registers; the smoke
+// fails if /metrics is missing a per-route series for any of them.
+var metricsRoutes = []string{
+	"/v1/decompose", "/v1/jobs", "/v1/jobs/{id}", "/v1/admin/snapshot",
+	"/v1/healthz", "/v1/stats", "/metrics",
+}
+
+// metricsFamilies is one family per instrumented pipeline stage — HTTP
+// middleware, admission control, cache, batcher, solver pool, executor,
+// store, and job lifecycle. The smoke checks each is declared.
+var metricsFamilies = []string{
+	"slade_http_requests_total",
+	"slade_http_request_duration_seconds",
+	"slade_admission_rejected_total",
+	"slade_cache_builds_total",
+	"slade_cache_build_duration_seconds",
+	"slade_batch_flushes_total",
+	"slade_shard_queue_wait_seconds",
+	"slade_executor_bins_issued_total",
+	"slade_store_op_duration_seconds",
+	"slade_jobs_total",
+}
+
+// runMetricsSmoke is the CI observability gate: it boots the service
+// in-process, drives one request through every HTTP route (including an
+// executed run job, so the executor and store series move), scrapes
+// GET /metrics, and validates the payload with the in-repo exposition
+// linter — every route series and every per-stage family must be present
+// and the payload must be a well-formed Prometheus 0.0.4 exposition.
+func runMetricsSmoke(w io.Writer) error {
+	svc := slade.NewService(slade.ServiceConfig{Store: slade.NewMemStore()})
+	defer svc.Close()
+	ts := httptest.NewServer(slade.NewServiceHandler(svc))
+	defer ts.Close()
+
+	menu, err := slade.JellyMenu(20)
+	if err != nil {
+		return err
+	}
+	binsJSON, err := json.Marshal(menu.Bins())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "metrics smoke test against %s\n", ts.URL)
+
+	// One request per route; the run job also moves the executor counters.
+	if _, err := timedPost(ts.URL+"/v1/decompose", fmt.Sprintf(`{"bins":%s,"n":500,"threshold":0.9}`, binsJSON)); err != nil {
+		return fmt.Errorf("decompose: %w", err)
+	}
+	runBody := fmt.Sprintf(`{"kind":"run","bins":%s,"n":100,"threshold":0.9,"run":{"seed":1}}`, binsJSON)
+	out, err := submitAndPollJob(ts.URL, runBody, 60*time.Second)
+	if err != nil {
+		return fmt.Errorf("run job: %w", err)
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+out.ID, nil)
+	if err != nil {
+		return err
+	}
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		return err
+	} else {
+		resp.Body.Close() // 409: terminal jobs don't cancel — the route series still moves
+	}
+	for _, route := range []string{"/v1/admin/snapshot"} {
+		if _, err := timedPost(ts.URL+route, `{}`); err != nil {
+			return fmt.Errorf("%s: %w", route, err)
+		}
+	}
+	for _, route := range []string{"/v1/healthz", "/v1/stats", "/metrics"} {
+		resp, err := http.Get(ts.URL + route)
+		if err != nil {
+			return fmt.Errorf("%s: %w", route, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: status %d", route, resp.StatusCode)
+		}
+	}
+
+	payload, ms, err := fetchMetrics(ts.URL)
+	if err != nil {
+		return err
+	}
+	if errs := obs.Lint(payload); len(errs) > 0 {
+		return fmt.Errorf("/metrics failed exposition lint: %v", errs)
+	}
+	text := string(payload)
+	for _, route := range metricsRoutes {
+		if !strings.Contains(text, fmt.Sprintf("route=%q", route)) {
+			return fmt.Errorf("/metrics has no per-route series for %s", route)
+		}
+	}
+	for _, family := range metricsFamilies {
+		if !strings.Contains(text, "# TYPE "+family+" ") {
+			return fmt.Errorf("/metrics missing family %s", family)
+		}
+	}
+	fmt.Fprintf(w, "  scrape: %d series, %.2f ms, exposition lints clean\n", countSeries(text), ms)
+	fmt.Fprintf(w, "  all %d routes and %d per-stage families present\n", len(metricsRoutes), len(metricsFamilies))
+	fmt.Fprintln(w, "  OK")
+	return nil
+}
+
+// metricsPhase measures the /metrics scrape under load inside the serve
+// smoke: warm decompose traffic runs in the background while the endpoint
+// is scraped repeatedly, and the final payload must lint clean. The
+// scrape latency lands in BENCH_serve.json so a regression that makes the
+// exposition expensive (per-key series explosion, lock contention) shows
+// up in the perf trajectory.
+func metricsPhase(w io.Writer, base, decomposeBody string, bench *serveBench) error {
+	const (
+		scrapes = 10
+		loaders = 4
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < loaders; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := timedPost(base+"/v1/decompose", decomposeBody); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	var total float64
+	var last []byte
+	var err error
+	for i := 0; i < scrapes; i++ {
+		var ms float64
+		if last, ms, err = fetchMetrics(base); err != nil {
+			break
+		}
+		total += ms
+	}
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		return fmt.Errorf("scraping /metrics under load: %w", err)
+	}
+	if errs := obs.Lint(last); len(errs) > 0 {
+		return fmt.Errorf("/metrics under load failed exposition lint: %v", errs)
+	}
+	bench.MetricsScrapeAvgMS = total / scrapes
+	bench.MetricsSeries = countSeries(string(last))
+	fmt.Fprintf(w, "  metrics scrape under load:    %8.2f ms  (avg of %d, %d series, lint clean)\n",
+		bench.MetricsScrapeAvgMS, scrapes, bench.MetricsSeries)
+	return nil
+}
+
+// fetchMetrics GETs /metrics once, returning the payload and latency.
+func fetchMetrics(base string) (payload []byte, ms float64, err error) {
+	start := time.Now()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("/metrics: status %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return raw, time.Since(start).Seconds() * 1e3, nil
+}
+
+// countSeries counts the sample lines (non-comment, non-blank) in an
+// exposition payload.
+func countSeries(payload string) int {
+	n := 0
+	for _, line := range strings.Split(payload, "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			n++
+		}
+	}
+	return n
+}

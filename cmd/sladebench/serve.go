@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -42,6 +43,12 @@ type serveBench struct {
 	BatchedReqPerSec   float64 `json:"batched_req_per_sec"`
 	BatchSpeedup       float64 `json:"batch_speedup"`
 	BatchMeanSize      float64 `json:"batch_mean_size"`
+	// Metrics-scrape phase: GET /metrics is scraped repeatedly while warm
+	// decompose traffic runs in the background; the payload must pass the
+	// in-repo exposition lint. MetricsSeries counts the sample lines, so a
+	// per-key series explosion shows up here before it hurts a scraper.
+	MetricsScrapeAvgMS float64 `json:"metrics_scrape_avg_ms"`
+	MetricsSeries      int     `json:"metrics_series"`
 }
 
 // runServeSmoke boots the decomposition service in-process behind a real
@@ -53,7 +60,11 @@ type serveBench struct {
 // traffic; with a non-empty jsonPath it also writes the measurements as
 // JSON for CI artifacts.
 func runServeSmoke(w io.Writer, jsonPath string) error {
-	svc := slade.NewService(slade.ServiceConfig{})
+	// Per-request Info lines would drown the smoke's own report (the
+	// metrics phase alone fires dozens of requests); warnings still pass.
+	svc := slade.NewService(slade.ServiceConfig{
+		Slog: slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn})),
+	})
 	ts := httptest.NewServer(slade.NewServiceHandler(svc))
 	defer ts.Close()
 
@@ -98,6 +109,9 @@ func runServeSmoke(w io.Writer, jsonPath string) error {
 		return err
 	}
 	if err := smokeRunJob(w, ts.URL, binsJSON, &bench); err != nil {
+		return err
+	}
+	if err := metricsPhase(w, ts.URL, body, &bench); err != nil {
 		return err
 	}
 	if err := burstPhase(w, menu, &bench); err != nil {

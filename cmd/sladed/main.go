@@ -18,16 +18,26 @@
 //	sladed -snapshot-interval 5m  # snapshot the OPQ cache every 5 minutes
 //	sladed -batch-window 0        # disable same-menu request batching
 //	sladed -batch-max 64          # flush a batch after 64 requests
+//	sladed -max-queue-wait 250ms  # shed solve traffic when queue-wait p95 exceeds 250ms
+//	sladed -log-json              # structured request logs as JSON lines
 //
 // By default the daemon coalesces concurrent same-menu decompose traffic
 // into shared block-aligned solves (-batch-window 2ms): requests sharing
 // a menu fingerprint accumulate briefly and are served by one solve, each
 // caller's plan costing exactly what its unbatched solve would.
 //
+// Every pipeline stage is instrumented: GET /metrics exposes Prometheus
+// text-format counters and histograms for the HTTP layer, OPQ cache,
+// batcher, solver pool, executor, and store, and every request is logged
+// with a propagated X-Request-ID. With -max-queue-wait set, the daemon
+// sheds solve-submitting traffic (429 + Retry-After) once the solver
+// pool's queue-wait p95 crosses the limit.
+//
 // Endpoints (JSON): POST /v1/decompose, POST /v1/jobs, GET /v1/jobs/{id},
 // DELETE /v1/jobs/{id}, POST /v1/admin/snapshot, GET /v1/healthz,
-// GET /v1/stats. See docs/OPERATIONS.md for the full flag reference, curl
-// examples and the restart-recovery runbook.
+// GET /v1/stats, GET /metrics (Prometheus text). See docs/OPERATIONS.md
+// for the full flag reference, curl examples and the restart-recovery
+// runbook.
 package main
 
 import (
@@ -36,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -56,6 +67,8 @@ func main() {
 	snapInterval := flag.Duration("snapshot-interval", 0, "periodically persist the OPQ cache (0 = only at shutdown and on POST /v1/admin/snapshot)")
 	batchWindow := flag.Duration("batch-window", slade.DefaultBatchWindow, "coalesce concurrent same-menu requests for up to this long into one shared solve (0 = disable batching)")
 	batchMax := flag.Int("batch-max", 0, "flush a batch once this many requests joined (0 = default 256)")
+	maxQueueWait := flag.Duration("max-queue-wait", 0, "shed solve traffic (429 + Retry-After) when solver queue-wait p95 exceeds this (0 = never shed)")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON lines instead of text")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -69,9 +82,13 @@ func main() {
 			ResultTTL:        *resultTTL,
 			BatchWindow:      *batchWindow,
 			BatchMaxRequests: *batchMax,
+			MaxQueueWait:     *maxQueueWait,
 		},
 		dataDir:          *dataDir,
 		snapshotInterval: *snapInterval,
+	}
+	if *logJSON {
+		cfg.service.Slog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 	if err := run(ctx, *addr, cfg, log.Default()); err != nil {
 		fmt.Fprintln(os.Stderr, "sladed:", err)

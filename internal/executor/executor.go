@@ -67,6 +67,19 @@ type BinRunner interface {
 	RunBin(cardinality int, pay float64, difficulty int, truth []bool) crowdsim.BinOutcome
 }
 
+// Observer receives execution progress callbacks, the seam the serving
+// layer's metrics hang off. Callbacks run inline on the executing
+// goroutine and must be cheap; a nil Options.Observer disables them.
+type Observer interface {
+	// BinIssued fires once per bin handed to a worker — retries and
+	// top-up bins included — with the bin's wall-clock duration.
+	BinIssued(d time.Duration)
+	// BinRetried fires before each re-issue of an overtime bin.
+	BinRetried()
+	// TopUpRound fires at the start of each adaptive top-up round.
+	TopUpRound()
+}
+
 // Options configures an execution.
 type Options struct {
 	// MaxRetries re-issues an overtime bin up to this many times before
@@ -85,6 +98,9 @@ type Options struct {
 	// MaxTopUps bounds the number of top-up rounds. Zero selects the
 	// default (2); a negative value disables top-ups even with TopUp set.
 	MaxTopUps int
+	// Observer, when non-nil, receives per-bin and per-round progress
+	// callbacks. It does not alter the execution in any way.
+	Observer Observer
 }
 
 // withDefaults fills unset fields. Zero means "default" for the budget
@@ -182,6 +198,9 @@ func ExecuteContext(ctx context.Context, r BinRunner, in *core.Instance, plan *c
 			break
 		}
 		rep.TopUpRounds++
+		if o.Observer != nil {
+			o.Observer.TopUpRound()
+		}
 		if err := runPlan(ctx, r, in, fix, truth, o, rep); err != nil {
 			return nil, err
 		}
@@ -233,9 +252,15 @@ func runPlan(ctx context.Context, r BinRunner, in *core.Instance, plan *core.Pla
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			if attempt > 0 && o.Observer != nil {
+				o.Observer.BinRetried()
+			}
 			rep.BinsIssued++
 			rep.Spent += bin.Cost
 			out := r.RunBin(bin.Cardinality, bin.Cost, o.Difficulty, binTruth)
+			if o.Observer != nil {
+				o.Observer.BinIssued(out.Duration)
+			}
 			if out.Duration > rep.MakeSpan {
 				rep.MakeSpan = out.Duration
 			}

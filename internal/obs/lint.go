@@ -1,0 +1,344 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint validates a Prometheus text-exposition payload (version 0.0.4)
+// and returns one error per problem found. It is the in-repo parser the
+// CI metrics smoke and the obs tests share, checking:
+//
+//   - every sample belongs to a family declared with both # TYPE and
+//     # HELP (histogram _bucket/_sum/_count samples resolve to their
+//     base family);
+//   - no duplicate series (same name + label set twice);
+//   - metric and label names are well-formed, label values parse;
+//   - histogram buckets are cumulative (non-decreasing in le order),
+//     include le="+Inf", and agree with the _count sample;
+//   - sample values parse as numbers.
+//
+// A nil return means the payload is a valid exposition.
+func Lint(payload []byte) []error {
+	var errs []error
+	fail := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("metrics line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	typ := make(map[string]MetricType)
+	help := make(map[string]bool)
+	seen := make(map[string]int) // series (name+labels) -> first line
+	type bucketKey struct{ family, labels string }
+	buckets := make(map[bucketKey]map[float64]float64) // le -> value
+	bucketLine := make(map[bucketKey]int)
+	counts := make(map[bucketKey]float64)
+	hasCount := make(map[bucketKey]bool)
+	hasSum := make(map[bucketKey]bool)
+
+	sc := bufio.NewScanner(strings.NewReader(string(payload)))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseComment(line)
+			if !ok {
+				continue // free-form comment: legal, ignored
+			}
+			switch kind {
+			case "TYPE":
+				if _, dup := typ[name]; dup {
+					fail(n, "duplicate TYPE for %s", name)
+				}
+				switch MetricType(rest) {
+				case TypeCounter, TypeGauge, TypeHistogram, "summary", "untyped":
+					typ[name] = MetricType(rest)
+				default:
+					fail(n, "unknown TYPE %q for %s", rest, name)
+				}
+			case "HELP":
+				if help[name] {
+					fail(n, "duplicate HELP for %s", name)
+				}
+				help[name] = true
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			fail(n, "%v", err)
+			continue
+		}
+		family := name
+		suffix := ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, s)
+			if base != name && typ[base] == TypeHistogram {
+				family, suffix = base, s
+				break
+			}
+		}
+		if _, ok := typ[family]; !ok {
+			fail(n, "sample %s has no # TYPE declaration", name)
+		}
+		if !help[family] {
+			fail(n, "sample %s has no # HELP declaration", name)
+		}
+
+		key := bucketKey{family, renderLabels(withoutLE(labels))}
+		switch suffix {
+		case "_bucket":
+			le, ok := labelValue(labels, "le")
+			if !ok {
+				fail(n, "histogram bucket %s missing le label", name)
+				continue
+			}
+			leV, err := parseLE(le)
+			if err != nil {
+				fail(n, "histogram bucket %s: bad le %q", name, le)
+				continue
+			}
+			if buckets[key] == nil {
+				buckets[key] = make(map[float64]float64)
+				bucketLine[key] = n
+			}
+			if _, dup := buckets[key][leV]; dup {
+				fail(n, "duplicate bucket le=%q for %s%s", le, family, key.labels)
+			}
+			buckets[key][leV] = value
+		case "_count":
+			counts[key] = value
+			hasCount[key] = true
+			seriesKey := name + renderLabels(withoutLE(labels))
+			if first, dup := seen[seriesKey]; dup {
+				fail(n, "duplicate series %s (first at line %d)", seriesKey, first)
+			}
+			seen[seriesKey] = n
+		default:
+			if suffix == "_sum" {
+				hasSum[key] = true
+			}
+			seriesKey := name + renderLabels(labels)
+			if first, dup := seen[seriesKey]; dup {
+				fail(n, "duplicate series %s (first at line %d)", seriesKey, first)
+			}
+			seen[seriesKey] = n
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("metrics: scanning payload: %w", err))
+	}
+
+	// Cross-line histogram checks, in deterministic order.
+	keys := make([]bucketKey, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].family != keys[j].family {
+			return keys[i].family < keys[j].family
+		}
+		return keys[i].labels < keys[j].labels
+	})
+	for _, k := range keys {
+		bs := buckets[k]
+		line := bucketLine[k]
+		les := make([]float64, 0, len(bs))
+		hasInf := false
+		for le := range bs {
+			if math.IsInf(le, 1) {
+				hasInf = true
+			}
+			les = append(les, le)
+		}
+		sort.Float64s(les)
+		if !hasInf {
+			fail(line, "histogram %s%s missing le=\"+Inf\" bucket", k.family, k.labels)
+		}
+		prev := -1.0
+		for _, le := range les {
+			if bs[le] < prev {
+				fail(line, "histogram %s%s buckets not cumulative at le=%s", k.family, k.labels, formatFloat(le))
+			}
+			prev = bs[le]
+		}
+		if !hasCount[k] {
+			fail(line, "histogram %s%s missing _count sample", k.family, k.labels)
+		} else if hasInf && bs[les[len(les)-1]] != counts[k] {
+			fail(line, "histogram %s%s: +Inf bucket %v != _count %v", k.family, k.labels, bs[les[len(les)-1]], counts[k])
+		}
+		if !hasSum[k] {
+			fail(line, "histogram %s%s missing _sum sample", k.family, k.labels)
+		}
+	}
+	return errs
+}
+
+func parseComment(line string) (kind, name, rest string, ok bool) {
+	fields := strings.SplitN(strings.TrimPrefix(line, "#"), " ", 4)
+	// "# TYPE name type" splits (after trimming "#") into
+	// ["", "TYPE", name, rest].
+	if len(fields) < 3 || fields[0] != "" {
+		return "", "", "", false
+	}
+	kind = fields[1]
+	if kind != "TYPE" && kind != "HELP" {
+		return "", "", "", false
+	}
+	name = fields[2]
+	if len(fields) == 4 {
+		rest = fields[3]
+	}
+	return kind, name, rest, true
+}
+
+// parseSample parses `name{label="v",...} value` (labels optional).
+func parseSample(line string) (name string, labels []Label, value float64, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = rest[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	if rest[i] == '{' {
+		end := labelBlockEnd(rest, i+1)
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err = parseLabels(rest[i+1 : end])
+		if err != nil {
+			return "", nil, 0, err
+		}
+		rest = rest[end+1:]
+	} else {
+		rest = rest[i:]
+	}
+	valStr := strings.TrimSpace(rest)
+	// A trailing timestamp is legal in the format; this renderer never
+	// emits one, but the parser tolerates it.
+	if sp := strings.IndexByte(valStr, ' '); sp >= 0 {
+		valStr = valStr[:sp]
+	}
+	value, err = parseValue(valStr)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	return name, labels, value, nil
+}
+
+// labelBlockEnd returns the index of the `}` closing the label block that
+// starts at s[from] (just past the opening `{`), or -1 if none. A plain
+// substring search would stop at a `}` inside a quoted label value (e.g.
+// route="/v1/jobs/{id}"), so this scan tracks quote and escape state.
+func labelBlockEnd(s string, from int) int {
+	inQuote := false
+	for i := from; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip the escaped byte
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func parseLabels(s string) ([]Label, error) {
+	var out []Label
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label pair in %q", s)
+		}
+		name := s[:eq]
+		if !validLabelName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %s: value not quoted", name)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("label %s: unterminated value", name)
+		}
+		out = append(out, Label{Name: name, Value: val.String()})
+		s = strings.TrimPrefix(s, ",")
+	}
+	return out, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" || s == "Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func withoutLE(labels []Label) []Label {
+	out := labels[:0:0]
+	for _, l := range labels {
+		if l.Name != "le" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func labelValue(labels []Label, name string) (string, bool) {
+	for _, l := range labels {
+		if l.Name == name {
+			return l.Value, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintErrs(t *testing.T, payload string) []error {
+	t.Helper()
+	return Lint([]byte(payload))
+}
+
+func wantLintError(t *testing.T, payload, substr string) {
+	t.Helper()
+	errs := lintErrs(t, payload)
+	for _, e := range errs {
+		if strings.Contains(e.Error(), substr) {
+			return
+		}
+	}
+	t.Fatalf("lint did not report %q; got %v", substr, errs)
+}
+
+const validPayload = `# HELP x_total Things.
+# TYPE x_total counter
+x_total{a="1"} 5
+x_total{a="2"} 0
+# HELP g Gauge.
+# TYPE g gauge
+g -2.5
+# HELP h_seconds Hist.
+# TYPE h_seconds histogram
+h_seconds_bucket{le="0.1"} 1
+h_seconds_bucket{le="1"} 3
+h_seconds_bucket{le="+Inf"} 4
+h_seconds_sum 3.25
+h_seconds_count 4
+`
+
+func TestLintAcceptsValid(t *testing.T) {
+	if errs := lintErrs(t, validPayload); len(errs) > 0 {
+		t.Fatalf("valid payload rejected: %v", errs)
+	}
+}
+
+func TestLintDuplicateSeries(t *testing.T) {
+	wantLintError(t, `# HELP x_total T.
+# TYPE x_total counter
+x_total{a="1"} 5
+x_total{a="1"} 6
+`, "duplicate series")
+}
+
+func TestLintMissingTypeAndHelp(t *testing.T) {
+	wantLintError(t, "x_total 1\n", "no # TYPE")
+	wantLintError(t, "# TYPE x_total counter\nx_total 1\n", "no # HELP")
+	wantLintError(t, "# HELP x_total T.\nx_total 1\n", "no # TYPE")
+}
+
+func TestLintNonMonotoneBuckets(t *testing.T) {
+	wantLintError(t, `# HELP h Hist.
+# TYPE h histogram
+h_bucket{le="0.1"} 5
+h_bucket{le="1"} 3
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 5
+`, "not cumulative")
+}
+
+func TestLintMissingInfBucket(t *testing.T) {
+	wantLintError(t, `# HELP h Hist.
+# TYPE h histogram
+h_bucket{le="0.1"} 1
+h_sum 1
+h_count 1
+`, "missing le=\"+Inf\"")
+}
+
+func TestLintCountMismatch(t *testing.T) {
+	wantLintError(t, `# HELP h Hist.
+# TYPE h histogram
+h_bucket{le="+Inf"} 4
+h_sum 1
+h_count 5
+`, "!= _count")
+}
+
+func TestLintMissingSumAndCount(t *testing.T) {
+	wantLintError(t, `# HELP h Hist.
+# TYPE h histogram
+h_bucket{le="+Inf"} 4
+h_count 4
+`, "missing _sum")
+	wantLintError(t, `# HELP h Hist.
+# TYPE h histogram
+h_bucket{le="+Inf"} 4
+h_sum 1
+`, "missing _count")
+}
+
+func TestLintMalformedLines(t *testing.T) {
+	wantLintError(t, "# HELP x T.\n# TYPE x counter\nx{a=\"1\" 5\n", "unterminated")
+	wantLintError(t, "# HELP x T.\n# TYPE x counter\nx{a=1} 5\n", "not quoted")
+	wantLintError(t, "# HELP x T.\n# TYPE x counter\nx nope\n", "bad value")
+	wantLintError(t, "# HELP 9x T.\n# TYPE 9x counter\n9x 5\n", "invalid metric name")
+	wantLintError(t, "# HELP x T.\n# TYPE x wat\nx 5\n", "unknown TYPE")
+	wantLintError(t, "# TYPE x counter\n# TYPE x counter\n# HELP x T.\nx 1\n", "duplicate TYPE")
+	wantLintError(t, "# HELP x T.\n# HELP x T.\n# TYPE x counter\nx 1\n", "duplicate HELP")
+}
+
+func TestLintBracesInLabelValues(t *testing.T) {
+	// `}` inside a quoted label value does not close the label block —
+	// route patterns like /v1/jobs/{id} are everyday label values here.
+	payload := `# HELP x_total T.
+# TYPE x_total counter
+x_total{route="/v1/jobs/{id}",method="GET"} 5
+x_total{route="{weird}{}",method="PUT"} 1
+# HELP h_seconds Hist.
+# TYPE h_seconds histogram
+h_seconds_bucket{route="/v1/jobs/{id}",le="+Inf"} 2
+h_seconds_sum{route="/v1/jobs/{id}"} 0.5
+h_seconds_count{route="/v1/jobs/{id}"} 2
+`
+	if errs := lintErrs(t, payload); len(errs) > 0 {
+		t.Fatalf("braced label values rejected: %v", errs)
+	}
+	// A genuinely unterminated block is still caught even when a quoted
+	// value contains a closing brace.
+	wantLintError(t, "# HELP x T.\n# TYPE x counter\nx{a=\"{v}\" 5\n", "unterminated")
+}
+
+func TestLintTolerates(t *testing.T) {
+	// Free-form comments, blank lines, timestamps, Inf values, escaped
+	// label values — all legal exposition.
+	payload := `# just a comment
+
+# HELP x_total T.
+# TYPE x_total counter
+x_total{a="va\"l\\ue"} 5 1712000000000
+# HELP inf_g G.
+# TYPE inf_g gauge
+inf_g +Inf
+`
+	if errs := lintErrs(t, payload); len(errs) > 0 {
+		t.Fatalf("tolerable payload rejected: %v", errs)
+	}
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", L("k", "v"))
+	b := r.Counter("x_total", "help", L("k", "v"))
+	if a != b {
+		t.Fatalf("same (name, labels) returned distinct counters")
+	}
+	c := r.Counter("x_total", "help", L("k", "other"))
+	if a == c {
+		t.Fatalf("distinct labels returned the same counter")
+	}
+	g1 := r.Gauge("g", "help")
+	g2 := r.Gauge("g", "help")
+	if g1 != g2 {
+		t.Fatalf("same gauge series returned distinct gauges")
+	}
+	h1 := r.Histogram("h_seconds", "help", HistogramOpts{})
+	h2 := r.Histogram("h_seconds", "help", HistogramOpts{Base: 1, Growth: 2, Buckets: 4})
+	if h1 != h2 {
+		t.Fatalf("same histogram series returned distinct histograms")
+	}
+}
+
+func TestRegistryTypeClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on type clash")
+		}
+	}()
+	r.Gauge("clash", "help")
+}
+
+func TestRegistryInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	for _, f := range []func(){
+		func() { r.Counter("9starts_with_digit", "h") },
+		func() { r.Counter("has-dash", "h") },
+		func() { r.Counter("", "h") },
+		func() { r.Counter("ok_total", "h", L("__reserved", "v")) },
+		func() { r.Counter("ok_total", "h", L("bad-label", "v")) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic on invalid name")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRegistryRenderAndLint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_requests_total", "Requests served.", L("route", "/a"), L("code", "2xx")).Add(7)
+	r.Counter("app_requests_total", "Requests served.", L("route", "/b"), L("code", "5xx")).Inc()
+	r.Gauge("app_inflight", "In-flight requests.").Set(3)
+	h := r.Histogram("app_latency_seconds", "Latency.", HistogramOpts{Base: 0.001, Growth: 2, Buckets: 6}, L("route", "/a"))
+	for _, v := range []float64{0.0005, 0.003, 0.02, 5} {
+		h.Observe(v)
+	}
+	r.RegisterCollector(func(e *Emitter) {
+		e.Counter("app_dynamic_total", "Collector-provided counter.", 11, L("key", "k1"))
+		e.Counter("app_dynamic_total", "Collector-provided counter.", 4, L("key", "k1")) // merges, not dup
+		e.Gauge("app_uptime_seconds", "Uptime.", 12.5)
+		e.Histogram("app_dyn_seconds", "Collector histogram.", h.Snapshot(), L("key", "k1"))
+		e.Histogram("app_dyn_seconds", "Collector histogram.", h.Snapshot(), L("key", "k1"))
+	})
+
+	out := string(r.Expose())
+	for _, want := range []string{
+		`# HELP app_requests_total Requests served.`,
+		`# TYPE app_requests_total counter`,
+		`app_requests_total{code="2xx",route="/a"} 7`,
+		`app_requests_total{code="5xx",route="/b"} 1`,
+		`app_inflight 3`,
+		`# TYPE app_latency_seconds histogram`,
+		`app_latency_seconds_bucket{route="/a",le="+Inf"} 4`,
+		`app_latency_seconds_count{route="/a"} 4`,
+		`app_dynamic_total{key="k1"} 15`,
+		`app_uptime_seconds 12.5`,
+		`app_dyn_seconds_count{key="k1"} 8`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+	if errs := Lint([]byte(out)); len(errs) > 0 {
+		t.Fatalf("self-rendered exposition fails lint: %v", errs)
+	}
+	// Render is deterministic.
+	if out2 := string(r.Expose()); out != out2 {
+		t.Fatalf("two renders of an unchanged registry differ")
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Counter("con_total", "h", L("k", "a")).Inc()
+				r.Histogram("con_seconds", "h", HistogramOpts{}).Observe(0.001)
+				_ = r.Expose()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("con_total", "h", L("k", "a")).Value(); got != 8*200 {
+		t.Fatalf("counter = %d, want %d", got, 8*200)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "has \\ and\nnewline", L("k", "a\"b\\c\nd")).Inc()
+	out := string(r.Expose())
+	if !strings.Contains(out, `esc_total{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label escaping wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `# HELP esc_total has \\ and\nnewline`) {
+		t.Fatalf("help escaping wrong:\n%s", out)
+	}
+	if errs := Lint([]byte(out)); len(errs) > 0 {
+		t.Fatalf("escaped exposition fails lint: %v", errs)
+	}
+}

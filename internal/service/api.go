@@ -22,36 +22,57 @@ const MaxRequestBytes = 64 << 20
 //	GET    /v1/jobs/{id}        job status (+ result plan with ?include_plan=true)
 //	DELETE /v1/jobs/{id}        cancel a pending or running job (aborts a run mid-flight)
 //	POST   /v1/admin/snapshot   persist the OPQ cache to the durable store
-//	GET    /v1/healthz          liveness probe
-//	GET    /v1/stats            request / cache / job / persistence counters
+//	GET    /v1/healthz          readiness probe (uptime, build info, store writability)
+//	GET    /v1/stats            request / latency / cache / job / persistence counters
+//	GET    /metrics             Prometheus text exposition of every pipeline metric
+//
+// Every route passes through the instrumentation middleware: request ids
+// (X-Request-ID, inbound value respected), per-endpoint status-class and
+// latency metrics, structured request logging, and — on the two
+// solve-submitting routes, when Config.MaxQueueWait is set — queue-wait
+// admission control that sheds with 429 + Retry-After before the solver
+// pool saturates.
 //
 // Everything is stdlib JSON over the stdlib mux; the handler is safe for
 // concurrent use — it is stateless itself and delegates to the
 // concurrency-safe Service. docs/API.md is the complete wire reference
 // (schemas, status codes, error shapes); docs/OPERATIONS.md has curl
-// examples.
+// examples and the monitoring guide.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/decompose", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(method, route string, shed bool, h http.HandlerFunc) {
+		rm := s.metrics.route(method, route)
+		mux.Handle(method+" "+route, s.instrument(rm, shed, h))
+	}
+	handle("POST", "/v1/decompose", true, func(w http.ResponseWriter, r *http.Request) {
 		handleDecompose(s, w, r)
 	})
-	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST", "/v1/jobs", true, func(w http.ResponseWriter, r *http.Request) {
 		handleSubmitJob(s, w, r)
 	})
-	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/v1/jobs/{id}", false, func(w http.ResponseWriter, r *http.Request) {
 		handleJobStatus(s, w, r)
 	})
-	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("DELETE", "/v1/jobs/{id}", false, func(w http.ResponseWriter, r *http.Request) {
 		handleCancelJob(s, w, r)
 	})
-	mux.HandleFunc("POST /v1/admin/snapshot", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST", "/v1/admin/snapshot", false, func(w http.ResponseWriter, r *http.Request) {
 		handleSnapshot(s, w, r)
 	})
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	handle("GET", "/v1/healthz", false, func(w http.ResponseWriter, r *http.Request) {
+		h := s.Health()
+		code := http.StatusOK
+		if h.Status != "ok" {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, h)
 	})
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/v1/stats", false, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	handle("GET", "/metrics", false, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", MetricsContentType)
+		_, _ = w.Write(s.Metrics())
 	})
 	return mux
 }

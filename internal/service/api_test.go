@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -16,7 +17,7 @@ import (
 
 func newTestServer(t *testing.T) (*Service, *httptest.Server) {
 	t.Helper()
-	svc := New(Config{CacheSize: 8, Workers: 2})
+	svc := New(Config{CacheSize: 8, Workers: 2, Slog: slog.New(slog.DiscardHandler)})
 	ts := httptest.NewServer(NewHandler(svc))
 	t.Cleanup(ts.Close)
 	return svc, ts
@@ -341,9 +342,15 @@ func TestHTTPRunJobKindAliasesAndErrors(t *testing.T) {
 
 func TestHTTPHealthzAndStats(t *testing.T) {
 	_, ts := newTestServer(t)
-	var hz map[string]string
-	if resp := getJSON(t, ts.URL+"/v1/healthz", &hz); resp.StatusCode != http.StatusOK || hz["status"] != "ok" {
-		t.Fatalf("healthz: %d %v", resp.StatusCode, hz)
+	var hz Health
+	if resp := getJSON(t, ts.URL+"/v1/healthz", &hz); resp.StatusCode != http.StatusOK || hz.Status != "ok" {
+		t.Fatalf("healthz: %d %+v", resp.StatusCode, hz)
+	}
+	if hz.UptimeSeconds < 0 || hz.GoVersion == "" {
+		t.Fatalf("healthz payload missing uptime/build info: %+v", hz)
+	}
+	if hz.Persistence.Enabled || !hz.Persistence.Writable {
+		t.Fatalf("storeless service must report persistence disabled but writable: %+v", hz.Persistence)
 	}
 
 	// Warm the cache with two identical requests, then read the counters.
@@ -363,6 +370,22 @@ func TestHTTPHealthzAndStats(t *testing.T) {
 	}
 	if len(st.Solvers) == 0 || st.Workers <= 0 {
 		t.Fatalf("stats payload: %+v", st)
+	}
+	// The histogram-backed latency summary replaced the lone global mean.
+	if st.Latency.Count != 2 || st.Latency.P95MS <= 0 || st.Latency.P50MS > st.Latency.P99MS {
+		t.Fatalf("solve latency summary: %+v", st.Latency)
+	}
+	var decompose *EndpointStats
+	for i := range st.Endpoints {
+		if st.Endpoints[i].Route == "/v1/decompose" {
+			decompose = &st.Endpoints[i]
+		}
+	}
+	if decompose == nil || decompose.Requests != 2 || decompose.Status["2xx"] != 2 {
+		t.Fatalf("per-endpoint stats: %+v", st.Endpoints)
+	}
+	if decompose.Latency.Count != 2 || decompose.Latency.P99MS < decompose.Latency.P50MS {
+		t.Fatalf("endpoint latency summary: %+v", decompose.Latency)
 	}
 }
 

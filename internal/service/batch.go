@@ -73,6 +73,18 @@ type batcher struct {
 	windowTimeouts  uint64
 }
 
+// Flush reasons, as exported in the slade_batch_flushes_total{reason}
+// metric and threaded through flush for the windowTimeouts counter.
+const (
+	// flushReasonWindow: the accumulation window expired.
+	flushReasonWindow = "window"
+	// flushReasonCap: the batch filled to maxRequests before the window.
+	flushReasonCap = "cap"
+	// flushReasonDrain: a finished flush handed its successor batch
+	// straight to a new flush (the double-buffering rule).
+	flushReasonDrain = "drain"
+)
+
 // batchKey groups same-menu traffic: the fingerprint digest plus the
 // exact threshold and menu length. Unlike the cache's string fingerprint
 // it costs no rendering per request; like it, a digest match is only
@@ -151,12 +163,15 @@ func (b *batcher) join(ctx context.Context, in *core.Instance) (*core.Plan, *Pla
 		pb.timer = time.AfterFunc(b.window, func() { b.flushExpired(key, pb) })
 	}
 	pb.members = append(pb.members, m)
+	if bm := b.svc.metrics; bm != nil {
+		bm.batchPending.Inc()
+	}
 	if len(pb.members) >= b.maxRequests {
 		// Cap reached: detach now so the next join opens a fresh batch,
 		// and flush without waiting out the window.
 		b.detachLocked(pb)
 		b.mu.Unlock()
-		go b.flush(pb, false)
+		go b.flush(pb, flushReasonCap)
 	} else {
 		b.mu.Unlock()
 	}
@@ -194,7 +209,7 @@ func (b *batcher) flushExpired(key batchKey, pb *pendingBatch) {
 	}
 	b.detachLocked(pb)
 	b.mu.Unlock()
-	b.flush(pb, true)
+	b.flush(pb, flushReasonWindow)
 }
 
 // flush runs the batch's shared solve, delivers every live member's
@@ -202,7 +217,7 @@ func (b *batcher) flushExpired(key batchKey, pb *pendingBatch) {
 // batch that accumulated meanwhile straight to the next flush. Exactly
 // one flush runs per batch: every trigger detaches the batch from the
 // pending map under the lock before calling it.
-func (b *batcher) flush(pb *pendingBatch, timedOut bool) {
+func (b *batcher) flush(pb *pendingBatch, reason string) {
 	b.mu.Lock()
 	members := make([]*batchMember, 0, len(pb.members))
 	for _, m := range pb.members {
@@ -213,11 +228,21 @@ func (b *batcher) flush(pb *pendingBatch, timedOut bool) {
 	if len(members) > 0 {
 		b.batches++
 		b.batchedRequests += uint64(len(members))
-		if timedOut {
+		if reason == flushReasonWindow {
 			b.windowTimeouts++
 		}
 	}
+	joined := len(pb.members)
 	b.mu.Unlock()
+	if bm := b.svc.metrics; bm != nil {
+		// Every joined member (gone ones included) incremented the pending
+		// gauge exactly once; this flush retires them all.
+		bm.batchPending.Add(-int64(joined))
+		if len(members) > 0 {
+			bm.batchFlushes[reason].Inc()
+			bm.batchFlushSize.Observe(float64(len(members)))
+		}
+	}
 
 	if len(members) > 0 { // otherwise every caller canceled while pending
 		plans, sums, err := b.solve(pb, members)
@@ -248,7 +273,7 @@ func (b *batcher) flush(pb *pendingBatch, timedOut bool) {
 	}
 	b.detachLocked(succ)
 	b.mu.Unlock()
-	go b.flush(succ, false)
+	go b.flush(succ, flushReasonDrain)
 }
 
 // repSolve is the shared solve of one distinct request size: the

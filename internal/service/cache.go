@@ -10,9 +10,13 @@ import (
 	"container/list"
 	"encoding/json"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/opq"
 )
 
@@ -56,6 +60,34 @@ type OPQCache struct {
 	byKey    map[string]*list.Element // fingerprint → *cacheEntry element
 	inflight map[string]*inflightBuild
 	stats    CacheStats
+	// keyed tracks per-key traffic for resident and in-flight keys; an
+	// evicted (or failed-build) key's counters fold into folded so the
+	// map stays bounded by the cache capacity plus in-flight builds.
+	keyed  map[string]*keyCounters
+	folded KeyCacheStats
+}
+
+// keyCounters is the live per-key traffic record behind KeyMetrics.
+// Guarded by OPQCache.mu except for the build histogram, which is
+// internally atomic (built outside the lock, observed under it).
+type keyCounters struct {
+	hits, misses, builds uint64
+	build                *obs.Histogram // lazily created on first build
+}
+
+// KeyCacheStats is one key's slice of cache traffic, as reported by
+// KeyMetrics. Key is the short fingerprint digest (the hex prefix of the
+// full cache key), suitable as a metric label.
+type KeyCacheStats struct {
+	// Key is the 16-hex-digit fingerprint digest, or "" for the
+	// aggregated remainder.
+	Key string
+	// Hits, Misses and Builds mirror the global CacheStats counters,
+	// scoped to this key. Coalesced Gets count as misses here.
+	Hits, Misses, Builds uint64
+	// Build is the build-latency distribution for this key (zero-valued
+	// when the key has never been built).
+	Build obs.HistogramSnapshot
 }
 
 // cacheEntry is one resident queue. The full (bins, threshold) key is kept
@@ -94,6 +126,34 @@ func NewOPQCacheWithBuilder(capacity int, build BuildFunc) *OPQCache {
 		ll:       list.New(),
 		byKey:    make(map[string]*list.Element),
 		inflight: make(map[string]*inflightBuild),
+		keyed:    make(map[string]*keyCounters),
+	}
+}
+
+// keyCountersLocked returns (creating if needed) the traffic record for
+// key. Caller holds c.mu.
+func (c *OPQCache) keyCountersLocked(key string) *keyCounters {
+	kc, ok := c.keyed[key]
+	if !ok {
+		kc = &keyCounters{}
+		c.keyed[key] = kc
+	}
+	return kc
+}
+
+// foldKeyLocked folds key's counters into the aggregated remainder and
+// drops the live record. Caller holds c.mu.
+func (c *OPQCache) foldKeyLocked(key string) {
+	kc, ok := c.keyed[key]
+	if !ok {
+		return
+	}
+	delete(c.keyed, key)
+	c.folded.Hits += kc.hits
+	c.folded.Misses += kc.misses
+	c.folded.Builds += kc.builds
+	if kc.build != nil {
+		c.folded.Build = c.folded.Build.Add(kc.build.Snapshot())
 	}
 }
 
@@ -116,6 +176,7 @@ func (c *OPQCache) Get(bins core.BinSet, t float64) (*opq.Queue, error) {
 			return c.build(bins, t) // collision: bypass the cache entirely
 		}
 		c.stats.Hits++
+		c.keyCountersLocked(key).hits++
 		c.ll.MoveToFront(el)
 		q := e.queue
 		c.mu.Unlock()
@@ -127,24 +188,38 @@ func (c *OPQCache) Get(bins core.BinSet, t float64) (*opq.Queue, error) {
 			return c.build(bins, t)
 		}
 		c.stats.Coalesced++
+		c.keyCountersLocked(key).misses++ // not served from cache
 		c.mu.Unlock()
 		<-fl.done
 		return fl.queue, fl.err
 	}
 	c.stats.Misses++
+	c.keyCountersLocked(key).misses++
 	fl := &inflightBuild{bins: bins, threshold: t, done: make(chan struct{})}
 	c.inflight[key] = fl
 	c.mu.Unlock()
 
 	// Algorithm 2 runs outside the lock: other keys stay servable and
 	// same-key callers coalesce onto fl.
+	buildStart := time.Now()
 	q, err := c.build(bins, t)
+	buildDur := time.Since(buildStart)
 
 	c.mu.Lock()
 	c.stats.Builds++
+	kc := c.keyCountersLocked(key)
+	kc.builds++
+	if kc.build == nil {
+		kc.build = obs.NewLatencyHistogram()
+	}
+	kc.build.ObserveDuration(buildDur)
 	delete(c.inflight, key)
 	if err == nil {
 		c.insertLocked(key, bins, t, q)
+	} else if _, resident := c.byKey[key]; !resident {
+		// A key that only ever fails to build would otherwise pin a live
+		// record forever; fold it so the keyed map stays bounded.
+		c.foldKeyLocked(key)
 	}
 	c.mu.Unlock()
 
@@ -177,7 +252,11 @@ func (c *OPQCache) insertLocked(key string, bins core.BinSet, t float64, q *opq.
 	for c.ll.Len() > c.capacity {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		evictedKey := oldest.Value.(*cacheEntry).key
+		delete(c.byKey, evictedKey)
+		if _, building := c.inflight[evictedKey]; !building {
+			c.foldKeyLocked(evictedKey)
+		}
 		c.stats.Evictions++
 	}
 }
@@ -206,6 +285,57 @@ func (c *OPQCache) Stats() CacheStats {
 	s := c.stats
 	s.Entries = c.ll.Len()
 	return s
+}
+
+// KeyMetrics returns per-key traffic for the topK busiest keys (by hits
+// plus misses, ties broken by key for determinism) and one aggregate for
+// everything else — the long tail of live keys plus all counters folded
+// from evicted and failed keys. The split keeps hot-key skew observable
+// without unbounded metric cardinality. Safe for concurrent use.
+func (c *OPQCache) KeyMetrics(topK int) (top []KeyCacheStats, rest KeyCacheStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	all := make([]KeyCacheStats, 0, len(c.keyed))
+	for key, kc := range c.keyed {
+		ks := KeyCacheStats{Key: shortKey(key), Hits: kc.hits, Misses: kc.misses, Builds: kc.builds}
+		if kc.build != nil {
+			ks.Build = kc.build.Snapshot()
+		}
+		all = append(all, ks)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		ti, tj := all[i].Hits+all[i].Misses, all[j].Hits+all[j].Misses
+		if ti != tj {
+			return ti > tj
+		}
+		return all[i].Key < all[j].Key
+	})
+	if topK < 0 {
+		topK = 0
+	}
+	if topK > len(all) {
+		topK = len(all)
+	}
+	top = all[:topK]
+	rest = c.folded
+	rest.Key = ""
+	for _, ks := range all[topK:] {
+		rest.Hits += ks.Hits
+		rest.Misses += ks.Misses
+		rest.Builds += ks.Builds
+		rest.Build = rest.Build.Add(ks.Build)
+	}
+	return top, rest
+}
+
+// shortKey reduces a full cache key to its 16-hex-digit fingerprint
+// digest — short enough for a metric label, distinct enough in practice
+// (the exposition layer merges series on the rare digest collision).
+func shortKey(key string) string {
+	if i := strings.IndexByte(key, ':'); i >= 0 {
+		return key[:i]
+	}
+	return key
 }
 
 // CacheSnapshotVersion is the version stamped into serialized cache

@@ -5,7 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"strconv"
 	"strings"
 	"sync"
@@ -131,7 +131,7 @@ type JobManager struct {
 	// ttl evicts terminal jobs (memory and store) this long after they
 	// finish; zero keeps them until EvictJob.
 	ttl    time.Duration
-	logger *log.Logger
+	logger *slog.Logger
 	// platform builds run-job runners; never nil (defaults to the
 	// crowdsim-backed factory).
 	platform PlatformFactory
@@ -166,12 +166,12 @@ type JobManager struct {
 // newJobManager wires a manager to its owning service, replays any jobs
 // the store holds from previous processes, and starts the TTL janitor
 // when a positive ttl is configured.
-func newJobManager(svc *Service, maxConcurrent int, st store.Store, ttl time.Duration, logger *log.Logger, platform PlatformFactory) *JobManager {
+func newJobManager(svc *Service, maxConcurrent int, st store.Store, ttl time.Duration, logger *slog.Logger, platform PlatformFactory) *JobManager {
 	if maxConcurrent <= 0 {
 		maxConcurrent = 1
 	}
 	if logger == nil {
-		logger = log.Default()
+		logger = slog.Default()
 	}
 	if platform == nil {
 		platform = defaultPlatformFactory
@@ -204,7 +204,7 @@ func (m *JobManager) replay() {
 	}
 	recs, err := m.store.ListJobs()
 	if err != nil {
-		m.logger.Printf("service: warning: replaying job store: %v", err)
+		m.logger.Warn("replaying job store failed", "err", err)
 		return
 	}
 	now := time.Now()
@@ -213,7 +213,7 @@ func (m *JobManager) replay() {
 	for _, rec := range recs {
 		j, err := jobFromRecord(rec)
 		if err != nil {
-			m.logger.Printf("service: warning: skipping job record %s: %v", rec.ID, err)
+			m.logger.Warn("skipping unreadable job record", "id", rec.ID, "err", err)
 			continue
 		}
 		if m.ttl > 0 && now.Sub(j.finished) >= m.ttl {
@@ -354,7 +354,7 @@ func recordFromJob(j *job) (store.JobRecord, error) {
 // the two operations observes the other's effect under m.mu and deletes.
 func (m *JobManager) persist(rec store.JobRecord) {
 	if err := m.store.PutJob(rec); err != nil {
-		m.logger.Printf("service: warning: persisting job %s: %v", rec.ID, err)
+		m.logger.Warn("persisting job failed", "id", rec.ID, "err", err)
 		return
 	}
 	m.mu.Lock()
@@ -425,7 +425,7 @@ func (m *JobManager) deleteStored(id string) {
 		return
 	}
 	if err := m.store.DeleteJob(id); err != nil && !errors.Is(err, store.ErrNotFound) {
-		m.logger.Printf("service: warning: deleting stored job %s: %v", id, err)
+		m.logger.Warn("deleting stored job failed", "id", id, "err", err)
 	}
 }
 
@@ -632,6 +632,9 @@ func (m *JobManager) settle(j *job, plan *core.Plan, report *ExecutionReport, er
 			m.counts.runBins += uint64(report.BinsIssued)
 			m.counts.runTopUps += uint64(report.TopUpRounds)
 			m.counts.runSpend += report.Spent
+			if bm := m.svc.metrics; bm != nil {
+				bm.execJobSpend.Observe(report.Spent)
+			}
 		}
 	case errors.Is(err, context.Canceled):
 		j.state = JobCanceled
@@ -650,7 +653,7 @@ func (m *JobManager) settle(j *job, plan *core.Plan, report *ExecutionReport, er
 		var rerr error
 		rec, rerr = recordFromJob(j)
 		if rerr != nil {
-			m.logger.Printf("service: warning: encoding job %s for the store: %v", j.id, rerr)
+			m.logger.Warn("encoding job for the store failed", "id", j.id, "err", rerr)
 			persist = false
 		}
 	}

@@ -273,7 +273,11 @@ func (m *JobManager) runRun(ctx context.Context, j *job) (*core.Plan, *Execution
 		return nil, nil, err
 	}
 	truth := rj.truth()
-	rep, err := executor.ExecuteContext(ctx, j.runner, rj.Instance, plan, truth, rj.Options)
+	opts := rj.Options
+	if bm := m.svc.metrics; bm != nil {
+		opts.Observer = execObserver{m: bm}
+	}
+	rep, err := executor.ExecuteContext(ctx, j.runner, rj.Instance, plan, truth, opts)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
@@ -40,7 +41,20 @@ type Config struct {
 	// they finish; 0 keeps results until EvictJob.
 	ResultTTL time.Duration
 	// Logger receives persistence warnings; nil selects log.Default().
+	//
+	// Deprecated: prefer Slog. A Logger supplied here still works — it is
+	// wrapped into a structured logger — so existing callers keep their
+	// output destination; Slog wins when both are set.
 	Logger *log.Logger
+	// Slog receives the service's structured logs: per-request lines from
+	// the HTTP middleware and persistence warnings. Nil falls back to
+	// wrapping Logger, then to slog.Default().
+	Slog *slog.Logger
+	// MaxQueueWait enables admission control: when the solver pool's
+	// queue-wait p95 exceeds it, shed-eligible routes (POST /v1/decompose
+	// and POST /v1/jobs) reply 429 with a Retry-After header instead of
+	// queueing deeper. Zero (the default) disables shedding.
+	MaxQueueWait time.Duration
 	// PlatformFactory builds the simulated platform run jobs execute
 	// against; nil selects the crowdsim-backed default (models "jelly"
 	// and "smic", optional worker pool).
@@ -77,10 +91,15 @@ type Service struct {
 	sharded *ShardedSolver
 	jobs    *JobManager
 	store   store.Store
-	logger  *log.Logger
+	slog    *slog.Logger
 	// batcher coalesces same-key default-solver traffic; nil when
 	// batching is disabled.
 	batcher *batcher
+	// metrics is the observability bundle every pipeline stage writes
+	// into; always non-nil (see metrics.go).
+	metrics *serviceMetrics
+	// maxQueueWait is the admission-control threshold; 0 disables.
+	maxQueueWait time.Duration
 
 	mu      sync.RWMutex
 	solvers map[string]core.Solver
@@ -91,12 +110,11 @@ type Service struct {
 	snapMu   sync.Mutex
 	lastSnap SnapshotInfo
 
-	// Request counters; latency is tracked as a nanosecond sum so the
-	// stats endpoint can report a true mean over all requests.
-	requests  atomic.Uint64
-	errors    atomic.Uint64
-	latencyNS atomic.Uint64
-	tasks     atomic.Uint64
+	// Request counters; the latency distribution lives in
+	// metrics.solveLatency.
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	tasks    atomic.Uint64
 }
 
 // New builds a Service with the standard solver line-up registered:
@@ -112,22 +130,34 @@ func New(cfg Config) *Service {
 	if maxJobs <= 0 {
 		maxJobs = workers
 	}
-	logger := cfg.Logger
+	logger := cfg.Slog
 	if logger == nil {
-		logger = log.Default()
+		if cfg.Logger != nil {
+			logger = slogFromLegacy(cfg.Logger)
+		} else {
+			logger = slog.Default()
+		}
 	}
 	s := &Service{
-		cache:   NewOPQCache(cfg.CacheSize),
-		solvers: make(map[string]core.Solver),
-		store:   cfg.Store,
-		logger:  logger,
-		started: time.Now(),
+		solvers:      make(map[string]core.Solver),
+		slog:         logger,
+		metrics:      newServiceMetrics(),
+		maxQueueWait: cfg.MaxQueueWait,
+		started:      time.Now(),
 	}
-	s.sharded = &ShardedSolver{Cache: s.cache, Workers: workers}
+	s.cache = NewOPQCache(cfg.CacheSize)
+	s.store = cfg.Store
+	if cfg.Store != nil {
+		// Every store access — job spills, replay, snapshots — flows
+		// through the instrumented wrapper.
+		s.store = store.Observed(cfg.Store, s.storeObserver)
+	}
+	s.sharded = &ShardedSolver{Cache: s.cache, Workers: workers, Obs: &s.metrics.shardObs}
 	if cfg.BatchWindow > 0 {
 		s.batcher = newBatcher(s, cfg.BatchWindow, cfg.BatchMaxRequests)
 	}
-	s.jobs = newJobManager(s, maxJobs, cfg.Store, cfg.ResultTTL, logger, cfg.PlatformFactory)
+	s.jobs = newJobManager(s, maxJobs, s.store, cfg.ResultTTL, logger, cfg.PlatformFactory)
+	s.registerCollectors()
 
 	s.mustRegister(DefaultSolverName, s.sharded)
 	s.mustRegister("greedy", greedy.Solver{})
@@ -197,7 +227,7 @@ func (s *Service) LoadCacheSnapshot() (int, error) {
 		return 0, err
 	}
 	if skipped > 0 {
-		s.logger.Printf("service: warning: cache snapshot: %d entries skipped as corrupt or stale", skipped)
+		s.slog.Warn("cache snapshot partially restored", "skipped", skipped)
 	}
 	return restored, nil
 }
@@ -293,13 +323,13 @@ func (s *Service) DecomposeSummarized(ctx context.Context, name string, in *core
 	return plan, *sum, nil
 }
 
-// decomposeTimed wraps the solve with the request counters shared by
-// both public entry points.
+// decomposeTimed wraps the solve with the request counters and latency
+// histogram shared by both public entry points.
 func (s *Service) decomposeTimed(ctx context.Context, name string, in *core.Instance) (*core.Plan, *PlanSummary, error) {
 	start := time.Now()
 	plan, sum, err := s.decomposeWith(ctx, name, in)
 	s.requests.Add(1)
-	s.latencyNS.Add(uint64(time.Since(start).Nanoseconds()))
+	s.metrics.solveLatency.ObserveSince(start)
 	if err != nil {
 		s.errors.Add(1)
 	} else if in != nil {
@@ -401,8 +431,16 @@ type Stats struct {
 	Errors uint64 `json:"errors"`
 	// Tasks counts atomic tasks decomposed by successful requests.
 	Tasks uint64 `json:"tasks"`
-	// AvgLatencyMS is the mean request latency in milliseconds.
-	AvgLatencyMS float64 `json:"avg_latency_ms"`
+	// Latency summarizes the decompose-path latency distribution
+	// (mean and p50/p95/p99, replacing the former lone mean).
+	Latency LatencySummary `json:"latency"`
+	// Endpoints reports per-endpoint HTTP request counts and latency
+	// summaries, ordered by route then method. Empty until a handler
+	// (NewHandler) has been built for the service.
+	Endpoints []EndpointStats `json:"endpoints,omitempty"`
+	// QueueWait summarizes time shard jobs spent waiting for a solver-
+	// pool slot — the signal admission control sheds on.
+	QueueWait LatencySummary `json:"queue_wait"`
 	// Cache reports queue-cache effectiveness.
 	Cache CacheStats `json:"cache"`
 	// Batch reports the request batcher's coalescing effectiveness.
@@ -439,6 +477,9 @@ func (s *Service) Stats() Stats {
 		Requests:      s.requests.Load(),
 		Errors:        s.errors.Load(),
 		Tasks:         s.tasks.Load(),
+		Latency:       newLatencySummary(s.metrics.solveLatency.Snapshot()),
+		Endpoints:     s.metrics.endpointStats(),
+		QueueWait:     newLatencySummary(s.metrics.shardObs.QueueWait.Snapshot()),
 		Cache:         s.cache.Stats(),
 		Jobs:          s.jobs.Stats(),
 		Persistence: PersistenceStats{
@@ -452,8 +493,62 @@ func (s *Service) Stats() Stats {
 	if s.batcher != nil {
 		st.Batch = s.batcher.stats()
 	}
-	if st.Requests > 0 {
-		st.AvgLatencyMS = float64(s.latencyNS.Load()) / float64(st.Requests) / 1e6
-	}
 	return st
+}
+
+// Metrics renders the service's full metric registry in Prometheus text
+// exposition format — the payload GET /metrics serves. Safe for
+// concurrent use.
+func (s *Service) Metrics() []byte { return s.metrics.reg.Expose() }
+
+// Health is the readiness snapshot served by GET /v1/healthz.
+type Health struct {
+	// Status is "ok", or "degraded" when the durable store is configured
+	// but not currently writable (served with a 503).
+	Status string `json:"status"`
+	// UptimeSeconds is the service age.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Version/GoVersion/Revision come from the binary's build info; the
+	// module version is "(devel)" for non-module builds and Revision is
+	// empty without VCS stamping.
+	Version   string `json:"version,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	// Persistence reports the durable store's availability.
+	Persistence HealthPersistence `json:"persistence"`
+}
+
+// HealthPersistence is the store block of a health report.
+type HealthPersistence struct {
+	// Enabled reports whether a durable store is configured.
+	Enabled bool `json:"enabled"`
+	// Writable reports whether the store accepted a write probe; always
+	// true when the store does not support probing (or none is
+	// configured — nothing to fail).
+	Writable bool `json:"writable"`
+	// Error is the probe failure, when not writable.
+	Error string `json:"error,omitempty"`
+}
+
+// Health probes the service's readiness: uptime and build identity
+// always, plus a store writability probe when the configured store
+// supports one (the FS store probes its data directory). Safe for
+// concurrent use.
+func (s *Service) Health() Health {
+	h := Health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Version:       s.metrics.version,
+		GoVersion:     s.metrics.goVersion,
+		Revision:      s.metrics.revision,
+		Persistence:   HealthPersistence{Enabled: s.store != nil, Writable: true},
+	}
+	if c, ok := s.store.(store.Checker); ok {
+		if err := c.CheckWritable(); err != nil {
+			h.Status = "degraded"
+			h.Persistence.Writable = false
+			h.Persistence.Error = err.Error()
+		}
+	}
+	return h
 }

@@ -5,11 +5,29 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/hetero"
+	"repro/internal/obs"
 	"repro/internal/opq"
 )
+
+// ShardPoolObs is the instrumentation sink of a ShardedSolver: per-shard
+// solve latency, the time shard jobs wait for a pool slot, and a count of
+// shard jobs executed. All fields must be non-nil when the struct is set;
+// a nil *ShardPoolObs disables instrumentation entirely.
+type ShardPoolObs struct {
+	// SolveDuration observes each shard job's solve wall-clock, in
+	// seconds — including single-shard fast-path solves.
+	SolveDuration *obs.Histogram
+	// QueueWait observes how long each shard job waited to acquire a
+	// worker-pool slot, in seconds. Fast-path solves never queue and are
+	// not observed. This is the admission-control input signal.
+	QueueWait *obs.Histogram
+	// ShardJobs counts shard jobs executed.
+	ShardJobs *obs.Counter
+}
 
 // ShardedSolver solves SLADE instances by splitting them into independent
 // shards solved concurrently on a bounded worker pool, pulling every Optimal
@@ -39,6 +57,9 @@ type ShardedSolver struct {
 	// hold for splitting to be worthwhile; <= 0 selects
 	// DefaultMinShardBlocks. Small instances stay unsharded.
 	MinShardBlocks int
+	// Obs, when non-nil, receives per-shard solve latency, pool queue
+	// wait, and job counts.
+	Obs *ShardPoolObs
 }
 
 // DefaultMinShardBlocks is the per-shard block floor used when
@@ -172,8 +193,14 @@ func (s *ShardedSolver) spans(q *opq.Queue, n int) [][2]int {
 // copy once; no per-use expansion happens anywhere on this path.
 func (s *ShardedSolver) run(ctx context.Context, jobs []shardJob) (*core.Plan, error) {
 	if len(jobs) == 1 {
-		// Fast path: no pool, no merge.
+		// Fast path: no pool, no merge — and no queue, so only the solve
+		// duration is observed.
+		start := time.Now()
 		pr, err := jobs[0].solve()
+		if o := s.Obs; o != nil {
+			o.SolveDuration.ObserveSince(start)
+			o.ShardJobs.Inc()
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -190,12 +217,21 @@ func (s *ShardedSolver) run(ctx context.Context, jobs []shardJob) (*core.Plan, e
 			errs[i] = err
 			break
 		}
+		waitStart := time.Now()
 		sem <- struct{}{}
+		if o := s.Obs; o != nil {
+			o.QueueWait.ObserveSince(waitStart)
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			start := time.Now()
 			runs[i], errs[i] = jobs[i].solve()
+			if o := s.Obs; o != nil {
+				o.SolveDuration.ObserveSince(start)
+				o.ShardJobs.Inc()
+			}
 		}(i)
 	}
 	wg.Wait()

@@ -266,6 +266,27 @@ func (s *FS) GetSnapshot(name string) ([]byte, error) {
 	return data, err
 }
 
+// CheckWritable implements Checker: it probes the data directory with a
+// real temp-file write so permission loss, a full disk, or a read-only
+// remount show up in health checks before a job write fails.
+func (s *FS) CheckWritable() error {
+	f, err := os.CreateTemp(s.dir, ".healthz"+tmpSuffix+"*")
+	if err != nil {
+		return fmt.Errorf("store: data dir not writable: %w", err)
+	}
+	name := f.Name()
+	_, werr := f.Write([]byte("ok"))
+	cerr := f.Close()
+	os.Remove(name)
+	if werr != nil {
+		return fmt.Errorf("store: data dir not writable: %w", werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("store: data dir not writable: %w", cerr)
+	}
+	return nil
+}
+
 // Close implements Store. Writes are already durable at return from each
 // Put, so Close has nothing to flush.
 func (s *FS) Close() error { return nil }

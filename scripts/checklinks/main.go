@@ -1,11 +1,16 @@
-// Command checklinks is the repository's docs gate. It verifies two
+// Command checklinks is the repository's docs gate. It verifies three
 // properties of the Markdown tree:
 //
 //  1. Relative links resolve: every [text](target) whose target is
 //     neither an absolute URL nor a pure fragment must point to an
 //     existing file or directory, relative to the file containing the
 //     link.
-//  2. docs/ has no orphans: every *.md file under <root>/docs must be
+//  2. Anchors resolve: a fragment on a Markdown target — same-file
+//     (#section) or cross-file (FILE.md#section) — must match a heading
+//     in the target file, using GitHub's slug rules (lowercase,
+//     punctuation stripped, spaces to hyphens, duplicates suffixed
+//     -1, -2, ...).
+//  3. docs/ has no orphans: every *.md file under <root>/docs must be
 //     reachable from <root>/README.md by following relative Markdown
 //     links — documentation nobody links to is documentation nobody
 //     finds.
@@ -14,9 +19,8 @@
 //
 //	go run ./scripts/checklinks .
 //
-// Exit status is non-zero if any link is broken or any docs file is
-// orphaned, with one line per offender. Fragments (#section) are
-// stripped before checking; anchors themselves are not validated.
+// Exit status is non-zero if any link is broken, any anchor dangles, or
+// any docs file is orphaned, with one line per offender.
 package main
 
 import (
@@ -38,6 +42,9 @@ var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
 // samples are not checked.
 var codeFenceRE = regexp.MustCompile("^\\s*```")
 
+// headingRE matches ATX headings, whose text anchors GitHub-style slugs.
+var headingRE = regexp.MustCompile(`^\s{0,3}(#{1,6})\s+(.*?)\s*#*\s*$`)
+
 func main() {
 	root := "."
 	if len(os.Args) > 1 {
@@ -57,13 +64,26 @@ func main() {
 	}
 }
 
+// mdLink is one Markdown link carrying a fragment, held back until every
+// file's anchors have been collected.
+type mdLink struct {
+	file   string // file containing the link
+	line   int    // 1-based
+	raw    string // the target as written, for the error message
+	target string // cleaned path of the Markdown file the fragment addresses
+	frag   string
+}
+
 // check walks root for *.md files and returns one message per broken
-// relative link or orphaned docs/ file.
+// relative link, dangling anchor, or orphaned docs/ file.
 func check(root string) ([]string, error) {
 	var broken []string
+	var fragLinks []mdLink
 	// links maps each Markdown file (cleaned path) to the Markdown files
 	// its relative links resolve to — the edges of the reachability walk.
 	links := make(map[string][]string)
+	// anchors maps each Markdown file to its heading slug set.
+	anchors := make(map[string]map[string]bool)
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -79,16 +99,30 @@ func check(root string) ([]string, error) {
 		if !strings.HasSuffix(strings.ToLower(d.Name()), ".md") {
 			return nil
 		}
-		msgs, targets, err := checkFile(path)
+		res, err := checkFile(path)
 		if err != nil {
 			return err
 		}
-		broken = append(broken, msgs...)
-		links[filepath.Clean(path)] = targets
+		broken = append(broken, res.broken...)
+		fragLinks = append(fragLinks, res.fragLinks...)
+		clean := filepath.Clean(path)
+		links[clean] = res.targets
+		anchors[clean] = res.anchors
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	// Anchors validate only after the walk: a link may point forward to a
+	// file the walk had not reached yet.
+	for _, l := range fragLinks {
+		set, ok := anchors[l.target]
+		if !ok {
+			continue // non-Markdown target: fragment semantics unknown, skip
+		}
+		if !set[l.frag] {
+			broken = append(broken, fmt.Sprintf("%s:%d: dangling anchor %q (no heading #%s in %s)", l.file, l.line, l.raw, l.frag, l.target))
+		}
 	}
 	broken = append(broken, orphans(root, links)...)
 	return broken, nil
@@ -124,14 +158,24 @@ func orphans(root string, links map[string][]string) []string {
 	return out
 }
 
-// checkFile scans one Markdown file, returning broken-link messages and
-// the Markdown files its relative links point to.
-func checkFile(path string) ([]string, []string, error) {
+// fileResult is everything one Markdown file contributes to the checks.
+type fileResult struct {
+	broken    []string        // broken-link messages
+	targets   []string        // Markdown files its relative links point to
+	fragLinks []mdLink        // links with fragments, validated after the walk
+	anchors   map[string]bool // this file's own heading slugs
+}
+
+// checkFile scans one Markdown file.
+func checkFile(path string) (fileResult, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, nil, err
+		return fileResult{}, err
 	}
-	var broken, targets []string
+	res := fileResult{anchors: make(map[string]bool)}
+	// slugCounts disambiguates duplicate headings the way GitHub does:
+	// the second "Usage" becomes usage-1, the third usage-2.
+	slugCounts := make(map[string]int)
 	inFence := false
 	for i, line := range strings.Split(string(data), "\n") {
 		if codeFenceRE.MatchString(line) {
@@ -141,31 +185,74 @@ func checkFile(path string) ([]string, []string, error) {
 		if inFence {
 			continue
 		}
+		if m := headingRE.FindStringSubmatch(line); m != nil {
+			slug := slugify(m[2])
+			if n := slugCounts[slug]; n > 0 {
+				res.anchors[fmt.Sprintf("%s-%d", slug, n)] = true
+			} else {
+				res.anchors[slug] = true
+			}
+			slugCounts[slug]++
+		}
 		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
 			target := m[1]
 			if skippable(target) {
+				if frag, ok := strings.CutPrefix(target, "#"); ok {
+					res.fragLinks = append(res.fragLinks, mdLink{
+						file: path, line: i + 1, raw: m[1],
+						target: filepath.Clean(path), frag: frag,
+					})
+				}
 				continue
 			}
-			// Drop the fragment; an empty remainder means same-file anchor.
-			target, _, _ = strings.Cut(target, "#")
+			target, frag, hasFrag := strings.Cut(target, "#")
 			if target == "" {
 				continue
 			}
 			resolved := filepath.Join(filepath.Dir(path), target)
 			if _, err := os.Stat(resolved); err != nil {
-				broken = append(broken, fmt.Sprintf("%s:%d: broken link %q (resolved %s)", path, i+1, m[1], resolved))
+				res.broken = append(res.broken, fmt.Sprintf("%s:%d: broken link %q (resolved %s)", path, i+1, m[1], resolved))
 				continue
 			}
 			if strings.HasSuffix(strings.ToLower(resolved), ".md") {
-				targets = append(targets, filepath.Clean(resolved))
+				res.targets = append(res.targets, filepath.Clean(resolved))
+				if hasFrag {
+					res.fragLinks = append(res.fragLinks, mdLink{
+						file: path, line: i + 1, raw: m[1],
+						target: filepath.Clean(resolved), frag: frag,
+					})
+				}
 			}
 		}
 	}
-	return broken, targets, nil
+	return res, nil
+}
+
+// slugify maps a heading to its GitHub anchor: inline-code markers drop,
+// the text lowercases, punctuation other than hyphens and underscores is
+// stripped, and spaces become hyphens.
+func slugify(heading string) string {
+	heading = strings.ReplaceAll(heading, "`", "")
+	heading = strings.ToLower(heading)
+	var b strings.Builder
+	for _, r := range heading {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_',
+			'a' <= r && r <= 'z',
+			'0' <= r && r <= '9',
+			r > 127: // GitHub keeps non-ASCII letters
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }
 
 // skippable reports whether the target is out of scope: absolute URLs,
 // mail links, and absolute paths (which point outside the repo checkout).
+// Pure fragments (#section) skip the file check but still anchor-check
+// against the containing file.
 func skippable(target string) bool {
 	return strings.Contains(target, "://") ||
 		strings.HasPrefix(target, "mailto:") ||

@@ -249,6 +249,42 @@ func (s HistogramSnapshot) Add(o HistogramSnapshot) HistogramSnapshot {
 	return out
 }
 
+// Sub returns s minus baseline — the observations recorded between two
+// snapshots of the same histogram, the primitive behind windowed views
+// of a cumulative histogram (e.g. "queue wait over the last interval").
+// An empty baseline (no buckets) returns s unchanged; a baseline with a
+// different bucket count is ignored, like HistogramSnapshot.Add. All
+// fields subtract saturating at zero: snapshots are not atomic across
+// buckets, so a racing Observe can make a single bucket of an older
+// snapshot read ahead of a newer one, and a clamped zero beats a wrapped
+// uint64.
+func (s HistogramSnapshot) Sub(baseline HistogramSnapshot) HistogramSnapshot {
+	if len(baseline.Buckets) == 0 {
+		return s
+	}
+	if len(baseline.Buckets) != len(s.Buckets) {
+		return s
+	}
+	out := HistogramSnapshot{
+		Bounds:  s.Bounds,
+		Buckets: make([]uint64, len(s.Buckets)),
+		Count:   satSub(s.Count, baseline.Count),
+		Sum:     math.Max(0, s.Sum-baseline.Sum),
+	}
+	for i := range out.Buckets {
+		out.Buckets[i] = satSub(s.Buckets[i], baseline.Buckets[i])
+	}
+	return out
+}
+
+// satSub is a-b clamped at zero.
+func satSub(a, b uint64) uint64 {
+	if b > a {
+		return 0
+	}
+	return a - b
+}
+
 // Total returns the observation count derived from the buckets
 // themselves; quantile math uses it so a racing Observe between the
 // bucket reads and the Count read cannot skew a rank past the end.

@@ -181,6 +181,57 @@ func TestHistogramMergeLayoutMismatch(t *testing.T) {
 // oracle on randomized samples: the estimate must land in the same or an
 // adjacent bucket as the true quantile (the structural error bound of an
 // exponential-bucket histogram), and estimates must be monotone in q.
+// TestSnapshotSub: Sub yields the observations between two snapshots of
+// one histogram — the primitive the service's windowed admission signal
+// is built on — and degrades safely on empty or mismatched baselines.
+func TestSnapshotSub(t *testing.T) {
+	h := NewHistogram(0.001, 2, 10)
+	h.Observe(0.004)
+	h.Observe(0.004)
+	base := h.Snapshot()
+	h.Observe(0.1)
+	h.Observe(0.2)
+	cur := h.Snapshot()
+
+	delta := cur.Sub(base)
+	if delta.Count != 2 {
+		t.Fatalf("delta count = %d, want 2", delta.Count)
+	}
+	if got, want := delta.Sum, 0.3; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("delta sum = %v, want %v", got, want)
+	}
+	if q := delta.Quantile(0.95); q <= 0.05 {
+		t.Fatalf("delta p95 = %v, want > 0.05 (old observations must not dilute the window)", q)
+	}
+	// The full snapshot minus the delta's worth of buckets re-adds to cur.
+	if back := delta.Add(base); back.Total() != cur.Total() {
+		t.Fatalf("base + delta total = %d, want %d", back.Total(), cur.Total())
+	}
+
+	// Empty baseline: identity.
+	if got := cur.Sub(HistogramSnapshot{}); got.Total() != cur.Total() {
+		t.Fatalf("sub of empty baseline changed the snapshot")
+	}
+	// Mismatched layout: ignored, like Add.
+	other := NewHistogram(0.001, 2, 5).Snapshot()
+	if got := cur.Sub(other); got.Total() != cur.Total() {
+		t.Fatalf("sub of mismatched baseline was not ignored")
+	}
+	// A baseline racing ahead of cur (torn snapshots) clamps at zero
+	// instead of wrapping.
+	h.Observe(0.004)
+	ahead := h.Snapshot()
+	under := cur.Sub(ahead)
+	for i, b := range under.Buckets {
+		if b > cur.Buckets[i] {
+			t.Fatalf("bucket %d wrapped: %d", i, b)
+		}
+	}
+	if under.Sum < 0 {
+		t.Fatalf("sum went negative: %v", under.Sum)
+	}
+}
+
 func TestQuantileOracle(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
 		rng := rand.New(rand.NewSource(seed))

@@ -62,21 +62,13 @@ func NewRegistry() *Registry {
 // with a different type — metric names are static program structure, and
 // a type clash is a bug worth failing loudly on.
 func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
-	s := r.lookup(name, help, TypeCounter, labels)
-	if s.counter == nil {
-		s.counter = &Counter{}
-	}
-	return s.counter
+	return r.lookup(name, help, TypeCounter, HistogramOpts{}, labels).counter
 }
 
 // Gauge returns the gauge series for (name, labels), creating it on
 // first use.
 func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
-	s := r.lookup(name, help, TypeGauge, labels)
-	if s.gauge == nil {
-		s.gauge = &Gauge{}
-	}
-	return s.gauge
+	return r.lookup(name, help, TypeGauge, HistogramOpts{}, labels).gauge
 }
 
 // HistogramOpts selects a bucket layout; the zero value means the
@@ -91,18 +83,15 @@ type HistogramOpts struct {
 // with the given layout on first use (the layout of an existing series
 // is left untouched).
 func (r *Registry) Histogram(name, help string, opts HistogramOpts, labels ...Label) *Histogram {
-	s := r.lookup(name, help, TypeHistogram, labels)
-	if s.hist == nil {
-		if opts.Base == 0 && opts.Growth == 0 && opts.Buckets == 0 {
-			s.hist = NewLatencyHistogram()
-		} else {
-			s.hist = NewHistogram(opts.Base, opts.Growth, opts.Buckets)
-		}
-	}
-	return s.hist
+	return r.lookup(name, help, TypeHistogram, opts, labels).hist
 }
 
-func (r *Registry) lookup(name, help string, typ MetricType, labels []Label) *series {
+// lookup finds or creates the series for (name, labels), including its
+// instrument — everything happens under r.mu, so two goroutines racing
+// to register the same new series always come back with the same
+// instrument (the idempotency contract above) and WriteTo never observes
+// a series whose instrument is still being filled in.
+func (r *Registry) lookup(name, help string, typ MetricType, opts HistogramOpts, labels []Label) *series {
 	if !validMetricName(name) {
 		panic(fmt.Sprintf("obs: invalid metric name %q", name))
 	}
@@ -119,6 +108,18 @@ func (r *Registry) lookup(name, help string, typ MetricType, labels []Label) *se
 	s := f.series[key]
 	if s == nil {
 		s = &series{labels: key}
+		switch typ {
+		case TypeCounter:
+			s.counter = &Counter{}
+		case TypeGauge:
+			s.gauge = &Gauge{}
+		case TypeHistogram:
+			if opts == (HistogramOpts{}) {
+				s.hist = NewLatencyHistogram()
+			} else {
+				s.hist = NewHistogram(opts.Base, opts.Growth, opts.Buckets)
+			}
+		}
 		f.series[key] = s
 	}
 	return s

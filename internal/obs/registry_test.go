@@ -124,6 +124,45 @@ func TestRegistryConcurrentUse(t *testing.T) {
 	}
 }
 
+// TestRegistryConcurrentFirstRegistration: N goroutines racing to
+// register the same brand-new series must all get the same instrument —
+// instrument creation happens under the registry mutex, so no goroutine
+// can observe (or increment) an instrument that a racer then replaces.
+func TestRegistryConcurrentFirstRegistration(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	var (
+		start    sync.WaitGroup
+		done     sync.WaitGroup
+		counters [goroutines]*Counter
+		gauges   [goroutines]*Gauge
+		hists    [goroutines]*Histogram
+	)
+	start.Add(1)
+	for i := 0; i < goroutines; i++ {
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			start.Wait()
+			counters[i] = r.Counter("race_total", "h", L("k", "v"))
+			counters[i].Inc()
+			gauges[i] = r.Gauge("race_gauge", "h")
+			hists[i] = r.Histogram("race_seconds", "h", HistogramOpts{})
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+	for i := 1; i < goroutines; i++ {
+		if counters[i] != counters[0] || gauges[i] != gauges[0] || hists[i] != hists[0] {
+			t.Fatalf("goroutine %d got a forked instrument", i)
+		}
+	}
+	// Every increment landed on the one shared counter.
+	if got := counters[0].Value(); got != goroutines {
+		t.Fatalf("counter = %d, want %d (increments lost to a forked instrument)", got, goroutines)
+	}
+}
+
 func TestLabelEscaping(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("esc_total", "has \\ and\nnewline", L("k", "a\"b\\c\nd")).Inc()

@@ -34,6 +34,16 @@ const cacheTopKeys = 10
 // keeping the middleware allocation-free on the hot path.
 const admissionRecomputeInterval = 250 * time.Millisecond
 
+// admissionWindow is one interval of the windowed admission signal. The
+// queue-wait histogram is cumulative since boot, so the admission p95 is
+// computed over the previous full window merged with the current partial
+// one — always one to two windows of recent observations — and anything
+// older than two windows is discarded. Overload history therefore ages
+// out and shedding stops shortly after the pool drains, instead of a
+// since-boot p95 freezing above the limit and shedding forever. A var so
+// tests can shrink it.
+var admissionWindow = 10 * time.Second
+
 // serviceMetrics is the service's metric bundle: every instrument the
 // pipeline stages write into, plus the registry that renders them on
 // GET /metrics. All instruments are created in New so the hot paths
@@ -75,6 +85,13 @@ type serviceMetrics struct {
 	admissionP95    atomic.Uint64 // float64 bits
 	admissionSeq    atomic.Uint64 // request-id sequence
 	admissionBootID int64
+
+	// Window rotation state of the admission signal, guarded by
+	// admissionMu (only the recompute path, never the hot path, takes it).
+	admissionMu        sync.Mutex
+	admissionBaseline  obs.HistogramSnapshot // QueueWait at the last rotation
+	admissionPrev      obs.HistogramSnapshot // previous full window's delta
+	admissionRotatedNS int64
 
 	// Build info resolved once (served by /v1/healthz).
 	version   string
@@ -139,7 +156,8 @@ func newServiceMetrics() *serviceMetrics {
 		storeOpDuration: make(map[string]*obs.Histogram, len(storeOps)),
 		storeOpErrors:   make(map[string]*obs.Counter, len(storeOps)),
 
-		admissionBootID: time.Now().UnixNano(),
+		admissionBootID:    time.Now().UnixNano(),
+		admissionRotatedNS: time.Now().UnixNano(),
 	}
 	for _, op := range storeOps {
 		m.storeOpDuration[op] = reg.Histogram("slade_store_op_duration_seconds", "Durable store operation latency.", obs.HistogramOpts{}, obs.L("op", op))
@@ -254,12 +272,18 @@ func (s *Service) registerCollectors() {
 		e.Counter("slade_cache_evictions_total", "Queues dropped by the LRU policy.", cs.Evictions)
 		e.Counter("slade_cache_coalesced_total", "Gets that piggybacked on an in-flight build.", cs.Coalesced)
 
+		// The key label set follows the current top-K by traffic: a key
+		// that drops out (or is evicted) stops exporting its own series and
+		// folds into key="other", so per-key rate()/increase() can see
+		// spurious resets across churn — the caveat is stated in each HELP
+		// line and in OPERATIONS.md; sum without the key label for stable
+		// totals.
 		top, rest := s.cache.KeyMetrics(cacheTopKeys)
 		emitKey := func(k KeyCacheStats, label string) {
-			e.Counter("slade_cache_hits_total", "Cache hits by key (top keys; rest under \"other\").", k.Hits, obs.L("key", label))
-			e.Counter("slade_cache_misses_total", "Cache misses by key (top keys; rest under \"other\").", k.Misses, obs.L("key", label))
-			e.Counter("slade_cache_builds_total", "Queue builds by key (top keys; rest under \"other\").", k.Builds, obs.L("key", label))
-			e.Histogram("slade_cache_build_duration_seconds", "Queue build latency by key (top keys; rest under \"other\").", k.Build, obs.L("key", label))
+			e.Counter("slade_cache_hits_total", "Cache hits by key (current top keys; others fold into key=\"other\", so per-key series churn — sum without key for stable rates).", k.Hits, obs.L("key", label))
+			e.Counter("slade_cache_misses_total", "Cache misses by key (current top keys; others fold into key=\"other\", so per-key series churn — sum without key for stable rates).", k.Misses, obs.L("key", label))
+			e.Counter("slade_cache_builds_total", "Queue builds by key (current top keys; others fold into key=\"other\", so per-key series churn — sum without key for stable rates).", k.Builds, obs.L("key", label))
+			e.Histogram("slade_cache_build_duration_seconds", "Queue build latency by key (current top keys; others fold into key=\"other\", so per-key series churn — sum without key for stable rates).", k.Build, obs.L("key", label))
 		}
 		for _, k := range top {
 			emitKey(k, k.Key)
@@ -343,9 +367,10 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	return r.ResponseWriter.Write(p)
 }
 
-// queueWaitP95 returns the solver pool's queue-wait p95 in seconds,
-// recomputed from a histogram snapshot at most every
-// admissionRecomputeInterval; between recomputes it is two atomic loads.
+// queueWaitP95 returns the solver pool's queue-wait p95 in seconds over
+// the last one-to-two admissionWindow intervals, recomputed from a
+// histogram snapshot at most every admissionRecomputeInterval; between
+// recomputes it is two atomic loads.
 func (s *Service) queueWaitP95() float64 {
 	m := s.metrics
 	now := time.Now().UnixNano()
@@ -358,7 +383,24 @@ func (s *Service) queueWaitP95() float64 {
 	if !m.admissionAtNS.CompareAndSwap(last, now) {
 		return math.Float64frombits(m.admissionP95.Load())
 	}
-	p95 := m.shardObs.QueueWait.Snapshot().Quantile(0.95)
+	cur := m.shardObs.QueueWait.Snapshot()
+	m.admissionMu.Lock()
+	switch elapsed := now - m.admissionRotatedNS; {
+	case elapsed >= 2*int64(admissionWindow):
+		// More than a full idle window since the last rotation (no
+		// recomputes run without traffic): everything before cur is stale,
+		// so restart the window rather than shed on ancient waits.
+		m.admissionPrev = obs.HistogramSnapshot{}
+		m.admissionBaseline = cur
+		m.admissionRotatedNS = now
+	case elapsed >= int64(admissionWindow):
+		m.admissionPrev = cur.Sub(m.admissionBaseline)
+		m.admissionBaseline = cur
+		m.admissionRotatedNS = now
+	}
+	windowed := m.admissionPrev.Add(cur.Sub(m.admissionBaseline))
+	m.admissionMu.Unlock()
+	p95 := windowed.Quantile(0.95)
 	m.admissionP95.Store(math.Float64bits(p95))
 	return p95
 }

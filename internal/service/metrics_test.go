@@ -168,6 +168,43 @@ func TestAdmissionControlSheds(t *testing.T) {
 	}
 }
 
+// TestAdmissionControlRecovers pins the windowed-signal fix: the
+// admission p95 is computed over recent windows of the cumulative
+// queue-wait histogram, so once the pool stops producing high waits the
+// overload ages out and shedding stops — it must not latch on the
+// since-boot distribution and 429 forever.
+func TestAdmissionControlRecovers(t *testing.T) {
+	oldWindow := admissionWindow
+	admissionWindow = 50 * time.Millisecond
+	defer func() { admissionWindow = oldWindow }()
+
+	svc, ts := newMetricsServer(t, Config{CacheSize: 8, Workers: 2, MaxQueueWait: 100 * time.Millisecond})
+	for i := 0; i < 100; i++ {
+		svc.metrics.shardObs.QueueWait.Observe(2.0)
+	}
+	body := fmt.Sprintf(`{"bins":%s,"n":10,"threshold":0.9}`, table1JSON)
+	resp, raw := postJSON(t, ts.URL+"/v1/decompose", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated decompose: %d want 429 (%s)", resp.StatusCode, raw)
+	}
+
+	// The pool "drains": no further queue-wait observations. Requests keep
+	// probing until the stale windows rotate out; each probe resets the
+	// recompute-cache stamp so every attempt re-evaluates the signal.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		time.Sleep(admissionWindow)
+		svc.metrics.admissionAtNS.Store(0)
+		resp, raw = postJSON(t, ts.URL+"/v1/decompose", body)
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("admission control never recovered after the pool drained: %d (%s)", resp.StatusCode, raw)
+		}
+	}
+}
+
 // TestRequestIDs: an inbound X-Request-ID is echoed; absent one, the
 // middleware mints a unique id per request.
 func TestRequestIDs(t *testing.T) {

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 )
 
 // FS is the crash-safe filesystem Store. Layout under the root directory:
@@ -28,7 +29,19 @@ type FS struct {
 	logger *log.Logger
 
 	mu sync.Mutex // serializes writers (temp-file naming, delete races)
+
+	// CheckWritable probe cache: the verdict of the last real disk probe,
+	// reused within writableProbeInterval so frequent readiness probes do
+	// not turn into a constant stream of data-dir writes.
+	probeMu  sync.Mutex
+	probeAt  time.Time
+	probeErr error
 }
+
+// writableProbeInterval caps how often CheckWritable touches the disk;
+// within the interval the cached verdict is returned. A var so tests can
+// force fresh probes.
+var writableProbeInterval = time.Second
 
 // tmpSuffix marks in-flight writes; readers skip these files.
 const tmpSuffix = ".tmp"
@@ -268,8 +281,23 @@ func (s *FS) GetSnapshot(name string) ([]byte, error) {
 
 // CheckWritable implements Checker: it probes the data directory with a
 // real temp-file write so permission loss, a full disk, or a read-only
-// remount show up in health checks before a job write fails.
+// remount show up in health checks before a job write fails. The probe
+// result is cached for writableProbeInterval, so high-frequency
+// readiness probes (every /v1/healthz hits this) cost one disk write per
+// interval, not one per request.
 func (s *FS) CheckWritable() error {
+	s.probeMu.Lock()
+	defer s.probeMu.Unlock()
+	if !s.probeAt.IsZero() && time.Since(s.probeAt) < writableProbeInterval {
+		return s.probeErr
+	}
+	s.probeErr = s.probeWritable()
+	s.probeAt = time.Now()
+	return s.probeErr
+}
+
+// probeWritable performs the real create+write+remove probe.
+func (s *FS) probeWritable() error {
 	f, err := os.CreateTemp(s.dir, ".healthz"+tmpSuffix+"*")
 	if err != nil {
 		return fmt.Errorf("store: data dir not writable: %w", err)

@@ -12,6 +12,16 @@
 //
 // Points whose overtime rate exceeds 50% correspond to the dotted segments
 // of the paper's Figure 3 and are flagged with '*'.
+//
+// With -matrix the command instead runs the scenario lab (internal/scenario):
+// a seeded workload matrix through the full serving pipeline, emitting the
+// machine-readable BENCH_scenarios.json and a reliability/cost/latency
+// frontier table. See docs/SCENARIOS.md.
+//
+//	sladesim -matrix                          # full default matrix
+//	sladesim -matrix -short                   # reduced CI smoke matrix
+//	sladesim -matrix -cells adversarial,smic  # substring cell filter
+//	sladesim -matrix -timing -out -           # timing blocks, stdout only
 package main
 
 import (
@@ -20,6 +30,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"strings"
 
 	"repro/internal/experiments"
 )
@@ -28,9 +39,28 @@ func main() {
 	fig := flag.String("fig", "all", "3a, 3b, 3c or 'all'")
 	assignments := flag.Int("assignments", 10, "probe bins per design point (paper used 10)")
 	seed := flag.Int64("seed", 1, "simulator RNG seed")
+	matrix := flag.Bool("matrix", false, "run the scenario matrix instead of the figures")
+	short := flag.Bool("short", false, "with -matrix: run the reduced CI smoke matrix")
+	cells := flag.String("cells", "", "with -matrix: comma-separated substrings selecting cells")
+	out := flag.String("out", "BENCH_scenarios.json", "with -matrix: report path ('-' prints only)")
+	timing := flag.Bool("timing", false, "with -matrix: include wall-clock timing blocks (nondeterministic)")
+	check := flag.Bool("check", true, "with -matrix: fail if any cell misses its reliability target")
 	flag.Parse()
 
-	if err := run(os.Stdout, *fig, *assignments, *seed); err != nil {
+	var err error
+	if *matrix {
+		err = runMatrix(os.Stdout, matrixOpts{
+			short:  *short,
+			cells:  *cells,
+			out:    *out,
+			seed:   *seed,
+			timing: *timing,
+			check:  *check,
+		})
+	} else {
+		err = run(os.Stdout, *fig, *assignments, *seed)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sladesim:", err)
 		os.Exit(1)
 	}
@@ -55,7 +85,7 @@ func run(w io.Writer, fig string, assignments int, seed int64) error {
 		printFig(w, figs[id]())
 	}
 	if !matched {
-		return fmt.Errorf("unknown figure %q", fig)
+		return fmt.Errorf("unknown figure %q (have %s, all)", fig, strings.Join(order, ", "))
 	}
 	return nil
 }

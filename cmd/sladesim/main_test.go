@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -43,10 +45,55 @@ func TestRunAll(t *testing.T) {
 
 func TestRunRejectsBadInput(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "3z", 10, 1); err == nil {
-		t.Error("unknown figure accepted")
+	err := run(&sb, "3z", 10, 1)
+	if err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	// The error must teach the valid values, not just reject.
+	for _, want := range []string{"3z", "3a", "3b", "3c", "all"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-figure error should mention %q: %v", want, err)
+		}
 	}
 	if err := run(&sb, "3a", 0, 1); err == nil {
 		t.Error("zero assignments accepted")
+	}
+}
+
+// TestRunMatrixShortSmoke drives the -matrix -short path end to end: the
+// reduced matrix runs through the real pipeline, the report lands on disk,
+// every cell passes its reliability target, and the frontier table prints.
+func TestRunMatrixShortSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_scenarios.json")
+	var sb strings.Builder
+	if err := runMatrix(&sb, matrixOpts{short: true, out: out, seed: 1, check: true}); err != nil {
+		t.Fatalf("matrix run failed: %v\n%s", err, sb.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"schema_version"`, `"matrix": "short"`, `"reliability"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("report missing %s", want)
+		}
+	}
+	if !strings.Contains(sb.String(), "Scenario frontier") {
+		t.Errorf("frontier table missing:\n%s", sb.String())
+	}
+}
+
+func TestRunMatrixFilterAndErrors(t *testing.T) {
+	var sb strings.Builder
+	err := runMatrix(&sb, matrixOpts{short: true, cells: "no-such-cell", out: "-", seed: 1})
+	if err == nil || !strings.Contains(err.Error(), "no-such-cell") {
+		t.Fatalf("empty filter must error with the filter string, got %v", err)
+	}
+	sb.Reset()
+	if err := runMatrix(&sb, matrixOpts{short: true, cells: "uniform/heterogeneous", out: "-", seed: 1, check: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "jelly12"); got != 4 { // 2 cells: 1 log line + 1 table row each
+		t.Errorf("filter kept the wrong cells (%d jelly12 mentions):\n%s", got, sb.String())
 	}
 }

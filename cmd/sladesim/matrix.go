@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+// matrixOpts carries the -matrix mode flags.
+type matrixOpts struct {
+	short  bool   // run the reduced CI smoke matrix
+	cells  string // comma-separated substrings selecting cells
+	out    string // report path; "" or "-" prints only
+	seed   int64
+	timing bool // include wall-clock timing blocks
+	check  bool // fail on cells below their reliability target
+}
+
+// runMatrix executes the scenario lab: pick the matrix, filter it, run
+// every cell through the real service pipeline, write the machine-readable
+// report, and print the human frontier table.
+func runMatrix(w io.Writer, opts matrixOpts) error {
+	m := scenario.DefaultMatrix(opts.seed)
+	if opts.short {
+		m = scenario.ShortMatrix(opts.seed)
+	}
+	if opts.cells != "" {
+		m = m.Filter(strings.Split(opts.cells, ","))
+		if len(m.Cells) == 0 {
+			return fmt.Errorf("-cells %q matched no cell of matrix %q", opts.cells, m.Name)
+		}
+	}
+	rep, err := scenario.Run(m, scenario.Options{
+		Timing: opts.timing,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(w, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if opts.out != "" && opts.out != "-" {
+		if err := os.WriteFile(opts.out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s (%d cells)\n", opts.out, len(rep.Cells))
+	}
+	fmt.Fprint(w, rep.FrontierTable())
+	if opts.check {
+		errs := rep.CheckTargets()
+		for _, e := range errs {
+			fmt.Fprintln(w, "FAIL:", e)
+		}
+		if len(errs) > 0 {
+			return fmt.Errorf("%d of %d cells below their reliability target", len(errs), len(rep.Cells))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,307 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestShortMatrixDeterministic is the lab's headline guarantee: the same
+// matrix seed renders to a byte-identical report, end to end through the
+// real service pipeline (cache, batcher, sharded solver, executor) —
+// including the bursty cells whose submissions race into the batcher.
+func TestShortMatrixDeterministic(t *testing.T) {
+	m := ShortMatrix(7)
+	first, err := Run(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(m, Options{Workers: 2}) // worker count must not matter
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := first.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := second.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("same seed produced different reports:\n--- first\n%s\n--- second\n%s", j1, j2)
+	}
+
+	// A different seed must actually change the outcome (the chain is not
+	// vacuously constant).
+	other, err := Run(ShortMatrix(8), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3, err := other.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(j1, j3) {
+		t.Fatal("different matrix seeds produced identical reports")
+	}
+}
+
+// TestShortMatrixShape pins the acceptance floor of the CI smoke slice:
+// at least 12 distinct cells covering every arrival pattern, at least two
+// pool kinds and both budget regimes, all passing their declared targets
+// under the built-in seed.
+func TestShortMatrixShape(t *testing.T) {
+	m := ShortMatrix(1)
+	if len(m.Cells) < 12 {
+		t.Fatalf("short matrix has %d cells, want >= 12", len(m.Cells))
+	}
+	checkAxesCoverage(t, m, 3, 2, 2)
+
+	rep, err := Run(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, err := range rep.CheckTargets() {
+		t.Error(err)
+	}
+	if rep.SchemaVersion != ReportSchemaVersion || rep.Matrix != "short" || rep.Seed != 1 {
+		t.Fatalf("report header %d/%q/%d", rep.SchemaVersion, rep.Matrix, rep.Seed)
+	}
+	for _, c := range rep.Cells {
+		if c.Tasks <= 0 || c.BinsIssued <= 0 || c.Spend <= 0 {
+			t.Errorf("cell %s did no work: %+v", c.Cell, c)
+		}
+		if c.UncoveredTasks != 0 {
+			t.Errorf("cell %s left %d tasks uncovered", c.Cell, c.UncoveredTasks)
+		}
+		if c.Timing != nil {
+			t.Errorf("cell %s has a timing block without Options.Timing", c.Cell)
+		}
+	}
+}
+
+// TestDefaultMatrixMeetsTargets runs the full lab; it is the expensive
+// counterpart of the smoke slice, skipped under -short.
+func TestDefaultMatrixMeetsTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix under -short")
+	}
+	m := DefaultMatrix(1)
+	if len(m.Cells) < 12 {
+		t.Fatalf("default matrix has %d cells, want >= 12", len(m.Cells))
+	}
+	checkAxesCoverage(t, m, 3, 3, 2)
+	rep, err := Run(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, err := range rep.CheckTargets() {
+		t.Error(err)
+	}
+}
+
+// checkAxesCoverage asserts distinct cell names and minimum axis spans.
+func checkAxesCoverage(t *testing.T, m Matrix, arrivals, pools, budgets int) {
+	t.Helper()
+	names := map[string]bool{}
+	arrivalSet := map[ArrivalPattern]bool{}
+	poolSet := map[PoolKind]bool{}
+	budgetSet := map[BudgetRegime]bool{}
+	for _, c := range m.Cells {
+		if err := c.validate(); err != nil {
+			t.Fatal(err)
+		}
+		if names[c.Name()] {
+			t.Fatalf("duplicate cell name %q", c.Name())
+		}
+		names[c.Name()] = true
+		arrivalSet[c.Arrival] = true
+		poolSet[c.Pool] = true
+		budgetSet[c.Budget] = true
+	}
+	if len(arrivalSet) < arrivals || len(poolSet) < pools || len(budgetSet) < budgets {
+		t.Fatalf("axis coverage %d/%d/%d, want >= %d/%d/%d",
+			len(arrivalSet), len(poolSet), len(budgetSet), arrivals, pools, budgets)
+	}
+}
+
+func TestMatrixFilter(t *testing.T) {
+	m := ShortMatrix(3)
+	all := m.Filter(nil)
+	if len(all.Cells) != len(m.Cells) {
+		t.Fatalf("empty filter dropped cells: %d != %d", len(all.Cells), len(m.Cells))
+	}
+	adv := m.Filter([]string{"ADVERSARIAL"})
+	if len(adv.Cells) != 6 {
+		t.Fatalf("adversarial filter kept %d cells, want 6", len(adv.Cells))
+	}
+	for _, c := range adv.Cells {
+		if c.Pool != PoolAdversarial {
+			t.Fatalf("filter leaked cell %q", c.Name())
+		}
+	}
+	union := m.Filter([]string{"uniform", "bursty"})
+	if len(union.Cells) != 8 {
+		t.Fatalf("union filter kept %d cells, want 8", len(union.Cells))
+	}
+	if got := m.Filter([]string{"no-such-cell"}); len(got.Cells) != 0 {
+		t.Fatalf("bogus filter kept %d cells", len(got.Cells))
+	}
+
+	// Filtering must not re-seed survivors: a cell's seed derives from its
+	// name, so the filtered run reproduces the full run's cells verbatim.
+	full, err := Run(Matrix{Name: m.Name, Seed: m.Seed, Cells: m.Cells[:2]}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := Run(m.Filter([]string{full.Cells[1].Cell}), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Cells) != 1 {
+		t.Fatalf("name filter kept %d cells", len(sub.Cells))
+	}
+	got, want := sub.Cells[0], full.Cells[1]
+	if got.Seed != want.Seed || got.Reliability != want.Reliability || got.Spend != want.Spend {
+		t.Fatalf("filtered cell diverged from full-matrix cell:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestCellValidate(t *testing.T) {
+	good := ShortMatrix(1).Cells[0]
+	bad := []func(*Cell){
+		func(c *Cell) { c.Arrival = "sideways" },
+		func(c *Cell) { c.Pool = "robots" },
+		func(c *Cell) { c.Budget = "infinite" },
+		func(c *Cell) { c.Requests = 0 },
+		func(c *Cell) { c.Tasks = 0 },
+		func(c *Cell) { c.Threshold = 1 },
+		func(c *Cell) { c.Threshold = 0 },
+		func(c *Cell) { c.Budget = BudgetCapped; c.BudgetPerTask = 0 },
+		func(c *Cell) { c.Pool = PoolHeterogeneous; c.PoolSize = 0 },
+	}
+	if err := good.validate(); err != nil {
+		t.Fatalf("seed cell invalid: %v", err)
+	}
+	for i, mutate := range bad {
+		c := good
+		mutate(&c)
+		if err := c.validate(); err == nil {
+			t.Errorf("mutation %d passed validation: %+v", i, c)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if _, err := Run(Matrix{Name: "empty", Seed: 1}, Options{}); err == nil {
+		t.Fatal("empty matrix must error")
+	}
+	m := ShortMatrix(1)
+	m.Cells[3].Arrival = "sideways"
+	if _, err := Run(m, Options{}); err == nil {
+		t.Fatal("invalid cell must error before any work")
+	}
+	bad := Matrix{Name: "bad-menu", Seed: 1, Cells: []Cell{ShortMatrix(1).Cells[0]}}
+	bad.Cells[0].Menu = MenuSpec{Name: "x", Dataset: "nope", MaxCard: 5}
+	if _, err := Run(bad, Options{}); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
+
+func TestMenuSpecBuild(t *testing.T) {
+	for _, spec := range []MenuSpec{menuJelly20, menuJelly12, menuJelly8, menuSMIC20} {
+		menu, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if got := menu.MaxCardinality(); got != spec.MaxCard {
+			t.Fatalf("%s: max cardinality %d, want %d", spec.Name, got, spec.MaxCard)
+		}
+	}
+	if _, err := (MenuSpec{Dataset: "nope"}).Build(); err == nil ||
+		!strings.Contains(err.Error(), "jelly") {
+		t.Fatalf("unknown dataset error should list valid values, got %v", err)
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	a := DeriveSeed(42, "workload")
+	if a != DeriveSeed(42, "workload") {
+		t.Fatal("DeriveSeed is not a pure function")
+	}
+	seen := map[int64]string{a: "workload"}
+	for _, tag := range []string{"req/0", "req/1", "req/10", "thr/0", ""} {
+		s := DeriveSeed(42, tag)
+		for prev, prevTag := range seen {
+			if s == prev && tag != prevTag {
+				t.Fatalf("tags %q and %q collide at %d", tag, prevTag, s)
+			}
+		}
+		seen[s] = tag
+	}
+	if DeriveSeed(1, "workload") == DeriveSeed(2, "workload") {
+		t.Fatal("seed does not propagate")
+	}
+}
+
+func TestTimingBlockIsOptIn(t *testing.T) {
+	m := Matrix{Name: "tiny", Seed: 5, Cells: []Cell{{
+		Arrival: ArrivalUniform, Pool: PoolHomogeneous, Budget: BudgetUnbounded,
+		Menu: menuJelly8, Requests: 1, Tasks: 5, Threshold: 0.9,
+		MinReliability: 0.5,
+	}}}
+	var lines int
+	rep, err := Run(m, Options{Timing: true, Logf: func(string, ...any) { lines++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines != 1 {
+		t.Fatalf("Logf fired %d times, want 1", lines)
+	}
+	c := rep.Cells[0]
+	if c.Timing == nil || c.Timing.WallMS <= 0 {
+		t.Fatalf("Timing requested but missing: %+v", c.Timing)
+	}
+	j, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(j, []byte(`"timing"`)) {
+		t.Fatal("timing block absent from JSON")
+	}
+	table := rep.FrontierTable()
+	if !strings.Contains(table, "solve_p95") {
+		t.Fatalf("timing columns missing from table:\n%s", table)
+	}
+}
+
+func TestCheckTargetsAndFrontierTable(t *testing.T) {
+	rep := &Report{
+		SchemaVersion: ReportSchemaVersion,
+		Matrix:        "synthetic",
+		Seed:          9,
+		Cells: []CellResult{
+			{Cell: "a/ok", Reliability: 0.9, TargetReliability: 0.8},
+			{Cell: "b/miss", Reliability: 0.7, TargetReliability: 0.8},
+		},
+	}
+	errs := rep.CheckTargets()
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "b/miss") {
+		t.Fatalf("want one failure naming b/miss, got %v", errs)
+	}
+	table := rep.FrontierTable()
+	if !strings.Contains(table, "b/miss") || !strings.Contains(table, "!") {
+		t.Fatalf("table misses the failing-cell flag:\n%s", table)
+	}
+	if strings.Contains(table, "solve_p95") {
+		t.Fatalf("timing columns should be absent without timing blocks:\n%s", table)
+	}
+	j, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j[len(j)-1] != '\n' || bytes.Contains(j, []byte(`"timing"`)) {
+		t.Fatalf("JSON rendering off:\n%s", j)
+	}
+}

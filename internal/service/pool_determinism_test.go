@@ -1,0 +1,50 @@
+package service
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestRunJobPoolDeterministicAcrossGOMAXPROCS pins the pooled run path's
+// seed determinism under varying parallelism: the same platform seed must
+// yield an identical ExecutionReport whether the crowdsim pool runner is
+// scheduled on one core or many — worker assignment and answer streams
+// derive from the seed, never from goroutine interleaving. Under -race
+// this doubles as a race probe of the pool's concurrent answer path.
+func TestRunJobPoolDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	runOnce := func(procs int) *ExecutionReport {
+		t.Helper()
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		svc := New(Config{CacheSize: 8, Workers: 4, Logger: quietLogger()})
+		defer svc.Close()
+		req := runJellyRequest(t, 240, 0.9, 11)
+		req.Run.Platform.PoolSize = 80
+		req.Run.Platform.SpammerFraction = 0.2
+		req.Run.Platform.SkillSigma = 0.1
+		id, err := svc.Jobs().Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := waitTerminal(t, svc, id)
+		if st.State != JobDone {
+			t.Fatalf("GOMAXPROCS=%d: settled %s: %s", procs, st.State, st.Error)
+		}
+		return st.Report
+	}
+
+	base := runOnce(1)
+	if base.Tasks != 240 || base.BinsIssued == 0 {
+		t.Fatalf("implausible baseline report: %+v", base)
+	}
+	procsList := []int{2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		procsList = append(procsList, n)
+	}
+	for _, procs := range procsList {
+		if got := runOnce(procs); !reflect.DeepEqual(base, got) {
+			t.Fatalf("GOMAXPROCS=%d diverged from the single-core report:\n got %+v\nwant %+v", procs, got, base)
+		}
+	}
+}

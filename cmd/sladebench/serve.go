@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -10,6 +11,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -49,7 +52,32 @@ type serveBench struct {
 	// per-key series explosion shows up here before it hurts a scraper.
 	MetricsScrapeAvgMS float64 `json:"metrics_scrape_avg_ms"`
 	MetricsSeries      int     `json:"metrics_series"`
+	// SSE-subscriber phase: one run job watched end to end over
+	// GET /v1/jobs/{id}/events. FirstFrame is subscribe-to-first-frame.
+	SSEFrames         int     `json:"sse_frames"`
+	SSEProgressFrames int     `json:"sse_progress_frames"`
+	SSEFirstFrameMS   float64 `json:"sse_first_frame_ms"`
+	// Streaming-ingest phase: one incremental session driven over the
+	// /v1/streams API in ragged batches, flushed, and checked for exact
+	// cost parity with a one-shot decompose of the same arrivals.
+	StreamTasks    int     `json:"stream_tasks"`
+	StreamAppends  int     `json:"stream_appends"`
+	StreamIngestMS float64 `json:"stream_ingest_ms"`
+	StreamCost     float64 `json:"stream_cost"`
+	// Plan-encode phase: a million-task plan streamed through
+	// Plan.EncodeJSON. The alloc gate is the tentpole invariant — bytes
+	// out grows with the task count, allocations stay O(runs).
+	EncodeTasks   int     `json:"encode_tasks"`
+	EncodeBytes   int64   `json:"encode_bytes"`
+	EncodeMS      float64 `json:"encode_ms"`
+	EncodeAllocKB float64 `json:"encode_alloc_kb"`
 }
+
+// encodeAllocBudgetKB fails the smoke if streaming a million-task plan
+// allocates more than this. The bufio chunk plus number scratch measure
+// ~40 KiB; 512 KiB allows GC bookkeeping noise while still catching any
+// O(assignments) materialization sneaking back into the encoder.
+const encodeAllocBudgetKB = 512
 
 // runServeSmoke boots the decomposition service in-process behind a real
 // HTTP listener and drives the request shapes sladed serves in production:
@@ -114,21 +142,31 @@ func runServeSmoke(w io.Writer, jsonPath string) error {
 	if err := metricsPhase(w, ts.URL, body, &bench); err != nil {
 		return err
 	}
+	if err := ssePhase(w, ts.URL, binsJSON, &bench); err != nil {
+		return err
+	}
+	if err := streamIngestPhase(w, ts.URL, binsJSON, &bench); err != nil {
+		return err
+	}
+	if err := planEncodePhase(w, svc, menu, &bench); err != nil {
+		return err
+	}
 	if err := burstPhase(w, menu, &bench); err != nil {
 		return err
 	}
 
 	st := svc.Stats()
-	fmt.Fprintf(w, "  stats: requests=%d errors=%d cache{builds=%d hits=%d misses=%d} jobs{done=%d runs=%d}\n",
-		st.Requests, st.Errors, st.Cache.Builds, st.Cache.Hits, st.Cache.Misses, st.Jobs.Done, st.Jobs.Runs)
+	fmt.Fprintf(w, "  stats: requests=%d errors=%d cache{builds=%d hits=%d misses=%d} jobs{done=%d runs=%d} streams{opened=%d tasks=%d}\n",
+		st.Requests, st.Errors, st.Cache.Builds, st.Cache.Hits, st.Cache.Misses, st.Jobs.Done, st.Jobs.Runs,
+		st.Streams.Opened, st.Streams.TasksAppended)
 	if st.Errors > 0 {
 		return fmt.Errorf("smoke test saw %d request errors", st.Errors)
 	}
 	if st.Cache.Builds != 1 {
 		return fmt.Errorf("expected one OPQ build for one menu, got %d", st.Cache.Builds)
 	}
-	if st.Jobs.Runs != 1 {
-		return fmt.Errorf("expected one executed run job, got %d", st.Jobs.Runs)
+	if st.Jobs.Runs != 2 {
+		return fmt.Errorf("expected two executed run jobs, got %d", st.Jobs.Runs)
 	}
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(bench, "", "  ")
@@ -238,6 +276,196 @@ func burstPhase(w io.Writer, menu slade.BinSet, bench *serveBench) error {
 	// (see docs/BENCHMARKS.md).
 	if bench.BatchSpeedup < 0.75 {
 		fmt.Fprintf(w, "  warning: batched-burst speedup %.2fx — batching is costing throughput\n", bench.BatchSpeedup)
+	}
+	return nil
+}
+
+// ssePhase watches one run job end to end through the SSE event stream:
+// submit, subscribe to GET /v1/jobs/{id}/events, and read frames until
+// the terminal frame closes the stream. Records frame counts and the
+// subscribe-to-first-frame latency.
+func ssePhase(w io.Writer, base string, binsJSON []byte, bench *serveBench) error {
+	body := fmt.Sprintf(`{"kind":"run","bins":%s,"n":500,"threshold":0.9,
+		"run":{"platform":"jelly","seed":2}}`, binsJSON)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return err
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("sse phase: submit status %d", resp.StatusCode)
+	}
+
+	start := time.Now()
+	sub, err := http.Get(base + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		return err
+	}
+	defer sub.Body.Close()
+	if ct := sub.Header.Get("Content-Type"); ct != "text/event-stream" {
+		return fmt.Errorf("sse phase: content type %q", ct)
+	}
+	sc := bufio.NewScanner(sub.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var lastEvent string
+	for sc.Scan() {
+		line := sc.Text()
+		if name, ok := strings.CutPrefix(line, "event: "); ok {
+			if bench.SSEFrames == 0 {
+				bench.SSEFirstFrameMS = time.Since(start).Seconds() * 1e3
+			}
+			bench.SSEFrames++
+			if name == "progress" {
+				bench.SSEProgressFrames++
+			}
+			lastEvent = name
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("sse phase: reading stream: %w", err)
+	}
+	if bench.SSEProgressFrames < 1 || lastEvent != "done" {
+		return fmt.Errorf("sse phase: %d progress frames, final event %q", bench.SSEProgressFrames, lastEvent)
+	}
+	fmt.Fprintf(w, "  sse job %-8s frames:        %8d     (%d progress, first in %.2f ms)\n",
+		st.ID, bench.SSEFrames, bench.SSEProgressFrames, bench.SSEFirstFrameMS)
+	return nil
+}
+
+// streamIngestPhase drives one incremental-ingest session over the
+// /v1/streams API — ragged appends, flush, merged summary — and checks
+// the merged cost exactly matches a one-shot decompose of the same
+// arrival count (the stream.Planner parity guarantee, observed through
+// the wire).
+func streamIngestPhase(w io.Writer, base string, binsJSON []byte, bench *serveBench) error {
+	post := func(url, body string, dst any) error {
+		resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+			raw, _ := io.ReadAll(resp.Body)
+			return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, raw)
+		}
+		return json.NewDecoder(resp.Body).Decode(dst)
+	}
+
+	start := time.Now()
+	var opened struct {
+		ID string `json:"id"`
+	}
+	if err := post(base+"/v1/streams", fmt.Sprintf(`{"bins":%s,"threshold":0.9}`, binsJSON), &opened); err != nil {
+		return fmt.Errorf("stream phase: open: %w", err)
+	}
+	next := 0
+	for _, size := range []int{500, 300, 400} {
+		ids := make([]int, size)
+		for i := range ids {
+			ids[i] = next
+			next++
+		}
+		payload, err := json.Marshal(struct {
+			Tasks []int `json:"tasks"`
+		}{ids})
+		if err != nil {
+			return err
+		}
+		var st struct{}
+		if err := post(base+"/v1/streams/"+opened.ID+"/tasks", string(payload), &st); err != nil {
+			return fmt.Errorf("stream phase: append: %w", err)
+		}
+		bench.StreamAppends++
+	}
+	var flushed struct {
+		Summary struct {
+			Cost float64 `json:"cost"`
+		} `json:"summary"`
+	}
+	if err := post(base+"/v1/streams/"+opened.ID+"/flush", "{}", &flushed); err != nil {
+		return fmt.Errorf("stream phase: flush: %w", err)
+	}
+	bench.StreamTasks = next
+	bench.StreamIngestMS = time.Since(start).Seconds() * 1e3
+	bench.StreamCost = flushed.Summary.Cost
+
+	var oneShot struct {
+		Summary struct {
+			Cost float64 `json:"cost"`
+		} `json:"summary"`
+	}
+	body := fmt.Sprintf(`{"bins":%s,"n":%d,"threshold":0.9}`, binsJSON, next)
+	if err := post(base+"/v1/decompose", body, &oneShot); err != nil {
+		return fmt.Errorf("stream phase: one-shot reference: %w", err)
+	}
+	if flushed.Summary.Cost != oneShot.Summary.Cost {
+		return fmt.Errorf("stream phase: incremental cost %v != one-shot cost %v",
+			flushed.Summary.Cost, oneShot.Summary.Cost)
+	}
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/streams/"+opened.ID, nil)
+	if err != nil {
+		return err
+	}
+	del, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	del.Body.Close()
+	fmt.Fprintf(w, "  stream ingest (%d tasks):    %8.2f ms  (%d appends, cost %.2f = one-shot)\n",
+		bench.StreamTasks, bench.StreamIngestMS, bench.StreamAppends, bench.StreamCost)
+	return nil
+}
+
+// countingDiscard counts bytes written to it.
+type countingDiscard struct{ n int64 }
+
+func (c *countingDiscard) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// planEncodePhase is the O(runs) plan-encoding gate: solve a million-task
+// instance (cache hit — same menu and threshold as the cold phase), then
+// stream the plan's JSON through Plan.EncodeJSON and measure allocations.
+// Bytes out scale with the task count; allocations must not.
+func planEncodePhase(w io.Writer, svc *slade.Service, menu slade.BinSet, bench *serveBench) error {
+	const encodeN = 1_000_000
+	in, err := slade.NewHomogeneous(menu, encodeN, 0.9)
+	if err != nil {
+		return err
+	}
+	plan, err := svc.Decompose(context.Background(), in)
+	if err != nil {
+		return err
+	}
+
+	var cw countingDiscard
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if err := plan.EncodeJSON(&cw); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	bench.EncodeTasks = encodeN
+	bench.EncodeBytes = cw.n
+	bench.EncodeMS = elapsed.Seconds() * 1e3
+	bench.EncodeAllocKB = float64(after.TotalAlloc-before.TotalAlloc) / 1024
+	fmt.Fprintf(w, "  encode %d-task plan:     %8.2f ms  (%.1f MB out, %.0f KB allocated)\n",
+		encodeN, bench.EncodeMS, float64(cw.n)/(1<<20), bench.EncodeAllocKB)
+	if bench.EncodeAllocKB > encodeAllocBudgetKB {
+		return fmt.Errorf("plan encode allocated %.0f KB for %d tasks; budget is %d KB — "+
+			"the encoder is materializing instead of streaming", bench.EncodeAllocKB, encodeN, encodeAllocBudgetKB)
 	}
 	return nil
 }

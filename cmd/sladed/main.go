@@ -19,6 +19,7 @@
 //	sladed -batch-window 0        # disable same-menu request batching
 //	sladed -batch-max 64          # flush a batch after 64 requests
 //	sladed -max-queue-wait 250ms  # shed solve traffic when queue-wait p95 exceeds 250ms
+//	sladed -sse-heartbeat 15s     # SSE keep-alive comment interval for /v1/jobs/{id}/events
 //	sladed -log-json              # structured request logs as JSON lines
 //
 // By default the daemon coalesces concurrent same-menu decompose traffic
@@ -33,11 +34,14 @@
 // sheds solve-submitting traffic (429 + Retry-After) once the solver
 // pool's queue-wait p95 crosses the limit.
 //
-// Endpoints (JSON): POST /v1/decompose, POST /v1/jobs, GET /v1/jobs/{id},
-// DELETE /v1/jobs/{id}, POST /v1/admin/snapshot, GET /v1/healthz,
+// Endpoints (JSON): POST /v1/decompose, POST /v1/decompose/batch,
+// POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/jobs/{id}/events (SSE),
+// DELETE /v1/jobs/{id}, POST /v1/streams, POST /v1/streams/{id}/tasks,
+// POST /v1/streams/{id}/flush, GET /v1/streams/{id},
+// DELETE /v1/streams/{id}, POST /v1/admin/snapshot, GET /v1/healthz,
 // GET /v1/stats, GET /metrics (Prometheus text). See docs/OPERATIONS.md
 // for the full flag reference, curl examples and the restart-recovery
-// runbook.
+// runbook; docs/API.md is the wire reference.
 package main
 
 import (
@@ -68,6 +72,7 @@ func main() {
 	batchWindow := flag.Duration("batch-window", slade.DefaultBatchWindow, "coalesce concurrent same-menu requests for up to this long into one shared solve (0 = disable batching)")
 	batchMax := flag.Int("batch-max", 0, "flush a batch once this many requests joined (0 = default 256)")
 	maxQueueWait := flag.Duration("max-queue-wait", 0, "shed solve traffic (429 + Retry-After) when solver queue-wait p95 exceeds this (0 = never shed)")
+	sseHeartbeat := flag.Duration("sse-heartbeat", 0, "keep-alive comment interval on SSE event streams (0 = 15s default)")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON lines instead of text")
 	flag.Parse()
 
@@ -83,6 +88,7 @@ func main() {
 			BatchWindow:      *batchWindow,
 			BatchMaxRequests: *batchMax,
 			MaxQueueWait:     *maxQueueWait,
+			SSEHeartbeat:     *sseHeartbeat,
 		},
 		dataDir:          *dataDir,
 		snapshotInterval: *snapInterval,

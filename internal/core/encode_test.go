@@ -1,0 +1,178 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// encodeViaStream runs the streaming encoder into a buffer.
+func encodeViaStream(t testing.TB, p *Plan) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.EncodeJSON(&buf); err != nil {
+		t.Fatalf("EncodeJSON: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func assertEncodeMatchesMarshal(t testing.TB, p *Plan) {
+	t.Helper()
+	want, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("MarshalJSON: %v", err)
+	}
+	got := encodeViaStream(t, p)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("EncodeJSON differs from MarshalJSON:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestEncodeJSONMatchesMarshal(t *testing.T) {
+	pr := testRuns()
+	cases := map[string]*Plan{
+		"run-backed":        NewRunPlan(pr),
+		"legacy-expanded":   {Uses: pr.Expand()},
+		"empty-run":         NewRunPlan(&PlanRuns{}),
+		"empty-legacy-nil":  {},
+		"legacy-empty-uses": {Uses: []BinUse{}},
+		"legacy-nil-tasks":  {Uses: []BinUse{{Cardinality: 2, Tasks: nil}, {Cardinality: 3, Tasks: []int{}}, {Cardinality: 2, Tasks: []int{7, -3}}}},
+	}
+	for name, p := range cases {
+		t.Run(name, func(t *testing.T) { assertEncodeMatchesMarshal(t, p) })
+	}
+}
+
+func TestEncodeJSONRandomizedEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(8)) // fixed seed: the test must be deterministic
+	for i := 0; i < 200; i++ {
+		pr := randomRuns(r)
+		assertEncodeMatchesMarshal(t, NewRunPlan(pr))
+		assertEncodeMatchesMarshal(t, &Plan{Uses: pr.Expand()})
+	}
+}
+
+func TestEncodeUsesNDJSON(t *testing.T) {
+	plan := NewRunPlan(testRuns())
+	var buf bytes.Buffer
+	if err := plan.EncodeUsesNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	uses := plan.Materialized()
+	if len(lines) != len(uses) {
+		t.Fatalf("NDJSON has %d lines, plan has %d uses", len(lines), len(uses))
+	}
+	for i, u := range uses {
+		want, err := json.Marshal(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lines[i] != string(want) {
+			t.Fatalf("line %d: %s != %s", i, lines[i], want)
+		}
+	}
+	// An empty plan writes nothing at all.
+	buf.Reset()
+	if err := NewRunPlan(&PlanRuns{}).EncodeUsesNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty plan NDJSON wrote %q", buf.String())
+	}
+}
+
+// failAfter errors once n bytes have been written, simulating a client
+// that disconnects mid-stream.
+type failAfter struct {
+	n       int
+	written int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	f.written += len(p)
+	if f.written > f.n {
+		return 0, errShortWrite
+	}
+	return len(p), nil
+}
+
+var errShortWrite = errors.New("writer failed")
+
+func TestEncodeJSONPropagatesWriterError(t *testing.T) {
+	pr := randomRuns(rand.New(rand.NewSource(99)))
+	if err := NewRunPlan(pr).EncodeJSON(&failAfter{n: 64}); err == nil {
+		t.Fatal("EncodeJSON swallowed the writer error")
+	}
+	if err := NewRunPlan(pr).EncodeUsesNDJSON(&failAfter{n: 64}); err == nil {
+		t.Fatal("EncodeUsesNDJSON swallowed the writer error")
+	}
+}
+
+// randomRuns builds a structurally valid random run plan: several runs of
+// random combinations, full and padded, over one sequential arena.
+func randomRuns(r *rand.Rand) *PlanRuns {
+	blockLens := []int{2, 3, 4, 6, 12}
+	nRuns := r.Intn(5)
+	pr := &PlanRuns{}
+	next := 0
+	for i := 0; i < nRuns; i++ {
+		L := blockLens[r.Intn(len(blockLens))]
+		var parts []RunPart
+		for card := 1; card <= L; card++ {
+			if L%card != 0 {
+				continue
+			}
+			if r.Intn(3) == 0 {
+				parts = append(parts, RunPart{Cardinality: card, Count: 1 + r.Intn(2)})
+			}
+		}
+		if len(parts) == 0 {
+			parts = []RunPart{{Cardinality: L, Count: 1}}
+		}
+		comb := &RunComb{Parts: parts, BlockLen: L}
+		var run BlockRun
+		if L > 1 && r.Intn(3) == 0 { // padded remainder run
+			rem := 1 + r.Intn(L-1)
+			run = BlockRun{Comb: comb, Blocks: 0, Off: next, Len: rem}
+			next += rem
+		} else {
+			blocks := 1 + r.Intn(3)
+			run = BlockRun{Comb: comb, Blocks: blocks, Off: next, Len: blocks * L}
+			next += blocks * L
+		}
+		pr.Runs = append(pr.Runs, run)
+	}
+	pr.Arena = make([]int, next)
+	for i := range pr.Arena {
+		pr.Arena[i] = i
+	}
+	return pr
+}
+
+func FuzzEncodeJSONEquivalence(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(-7))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		pr := randomRuns(rand.New(rand.NewSource(seed)))
+		assertEncodeMatchesMarshal(t, NewRunPlan(pr))
+		assertEncodeMatchesMarshal(t, &Plan{Uses: pr.Expand()})
+	})
+}
+
+func BenchmarkEncodeJSONStream(b *testing.B) {
+	pr := randomRuns(rand.New(rand.NewSource(3)))
+	plan := NewRunPlan(pr)
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := plan.EncodeJSON(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -80,6 +80,22 @@ type Observer interface {
 	TopUpRound()
 }
 
+// ProgressObserver is an optional extension of Observer: an observer that
+// also implements it receives a cumulative progress callback after every
+// bin issue, carrying the execution's running totals. The serving layer's
+// SSE event hub hangs off this seam; plain metrics observers keep
+// implementing only Observer.
+type ProgressObserver interface {
+	Observer
+	// Progress fires after each bin issue (retries and top-up bins
+	// included) with the total spend so far, the total transformed
+	// reliability mass delivered by in-time bins so far (summed over
+	// tasks), and the number of bins issued so far. Like the other
+	// callbacks it runs inline on the executing goroutine and must be
+	// cheap.
+	Progress(spent, deliveredMass float64, binsIssued int)
+}
+
 // Options configures an execution.
 type Options struct {
 	// MaxRetries re-issues an overtime bin up to this many times before
@@ -152,7 +168,17 @@ type Report struct {
 	DeliveredMass []float64
 	// MakeSpan is the longest single-bin duration observed.
 	MakeSpan time.Duration
+
+	// deliveredTotal is the running sum of DeliveredMass, maintained
+	// incrementally so ProgressObserver callbacks don't rescan the
+	// per-task vector on every bin issue.
+	deliveredTotal float64
 }
+
+// DeliveredMassTotal returns the total transformed reliability mass
+// delivered by in-time bins, summed over tasks (the running value
+// ProgressObserver callbacks report).
+func (r *Report) DeliveredMassTotal() float64 { return r.deliveredTotal }
 
 // Execute runs the plan for the instance on the platform. truth carries the
 // ground-truth label per task (used to measure empirical reliability, as
@@ -232,6 +258,7 @@ func ExecuteContext(ctx context.Context, r BinRunner, in *core.Instance, plan *c
 // is synchronous: implementations must not retain the slice past RunBin).
 func runPlan(ctx context.Context, r BinRunner, in *core.Instance, plan *core.Plan, truth []bool, o Options, rep *Report) error {
 	scratch := make([]bool, in.Bins().MaxCardinality())
+	prog, _ := o.Observer.(ProgressObserver)
 	return plan.EachUse(func(cardinality int, tasks []int) error {
 		bin, ok := in.Bins().ByCardinality(cardinality)
 		if !ok {
@@ -266,6 +293,9 @@ func runPlan(ctx context.Context, r BinRunner, in *core.Instance, plan *core.Pla
 			}
 			if out.Overtime {
 				rep.OvertimeBins++
+				if prog != nil {
+					prog.Progress(rep.Spent, rep.deliveredTotal, rep.BinsIssued)
+				}
 				continue
 			}
 			completed = true
@@ -275,6 +305,10 @@ func runPlan(ctx context.Context, r BinRunner, in *core.Instance, plan *core.Pla
 				if out.Answers[i] {
 					rep.Detected[t] = true
 				}
+			}
+			rep.deliveredTotal += w * float64(len(tasks))
+			if prog != nil {
+				prog.Progress(rep.Spent, rep.deliveredTotal, rep.BinsIssued)
 			}
 			break
 		}

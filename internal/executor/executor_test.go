@@ -270,6 +270,61 @@ func TestOptionsExplicitZeroBudgets(t *testing.T) {
 	}
 }
 
+// progressRecorder implements ProgressObserver and keeps every frame.
+type progressRecorder struct {
+	issued, retried, topUps int
+	frames                  []progressFrame
+}
+
+type progressFrame struct {
+	spent, mass float64
+	bins        int
+}
+
+func (p *progressRecorder) BinIssued(time.Duration) { p.issued++ }
+func (p *progressRecorder) BinRetried()             { p.retried++ }
+func (p *progressRecorder) TopUpRound()             { p.topUps++ }
+func (p *progressRecorder) Progress(spent, mass float64, bins int) {
+	p.frames = append(p.frames, progressFrame{spent: spent, mass: mass, bins: bins})
+}
+
+// TestProgressObserverMonotoneTotals pins the ProgressObserver contract:
+// one frame per bin issue, totals non-decreasing, and the final frame
+// agreeing exactly with the report.
+func TestProgressObserverMonotoneTotals(t *testing.T) {
+	pl, in, plan, truth := jellyEnv(t, 500, 0.95, 7)
+	rec := &progressRecorder{}
+	rep, err := Execute(pl, in, plan, truth, Options{Observer: rec, TopUp: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.frames) != rep.BinsIssued {
+		t.Fatalf("%d progress frames for %d issued bins", len(rec.frames), rep.BinsIssued)
+	}
+	for i := 1; i < len(rec.frames); i++ {
+		prev, cur := rec.frames[i-1], rec.frames[i]
+		if cur.spent < prev.spent || cur.mass < prev.mass || cur.bins != prev.bins+1 {
+			t.Fatalf("frame %d not monotone: %+v -> %+v", i, prev, cur)
+		}
+	}
+	last := rec.frames[len(rec.frames)-1]
+	if last.spent != rep.Spent || last.bins != rep.BinsIssued || last.mass != rep.DeliveredMassTotal() {
+		t.Fatalf("final frame %+v disagrees with report (spent %v bins %d mass %v)",
+			last, rep.Spent, rep.BinsIssued, rep.DeliveredMassTotal())
+	}
+	var sum float64
+	for _, m := range rep.DeliveredMass {
+		sum += m
+	}
+	if diff := sum - rep.DeliveredMassTotal(); diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("DeliveredMassTotal %v != per-task sum %v", rep.DeliveredMassTotal(), sum)
+	}
+	// A plain Observer (no Progress method) still works unchanged.
+	if rec.issued != rep.BinsIssued {
+		t.Fatalf("BinIssued fired %d times for %d issues", rec.issued, rep.BinsIssued)
+	}
+}
+
 func TestExecuteNoPositives(t *testing.T) {
 	pl, in, plan, _ := jellyEnv(t, 50, 0.9, 2)
 	truth := make([]bool, 50) // all negative

@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -17,14 +20,22 @@ const MaxRequestBytes = 64 << 20
 
 // NewHandler returns the service's HTTP API:
 //
-//	POST   /v1/decompose        synchronous decomposition
-//	POST   /v1/jobs             submit an async job (solve, stream or run)
-//	GET    /v1/jobs/{id}        job status (+ result plan with ?include_plan=true)
-//	DELETE /v1/jobs/{id}        cancel a pending or running job (aborts a run mid-flight)
-//	POST   /v1/admin/snapshot   persist the OPQ cache to the durable store
-//	GET    /v1/healthz          readiness probe (uptime, build info, store writability)
-//	GET    /v1/stats            request / latency / cache / job / persistence counters
-//	GET    /metrics             Prometheus text exposition of every pipeline metric
+//	POST   /v1/decompose            synchronous decomposition (NDJSON plan body via Accept: application/x-ndjson)
+//	POST   /v1/decompose/batch      many instances over one shared menu, coalesced into one batch window
+//	POST   /v1/jobs                 submit an async job (solve, stream or run)
+//	GET    /v1/jobs/{id}            job status (+ result plan with ?include_plan=true;
+//	                                &plan_encoding=stream streams it in O(runs) memory)
+//	GET    /v1/jobs/{id}/events     live job progress as Server-Sent Events (Last-Event-ID resume)
+//	DELETE /v1/jobs/{id}            cancel a pending or running job (aborts a run mid-flight)
+//	POST   /v1/streams              open an incremental-ingest planning session
+//	POST   /v1/streams/{id}/tasks   append arriving task ids (full blocks plan immediately)
+//	POST   /v1/streams/{id}/flush   plan the remainder and seal the merged plan
+//	GET    /v1/streams/{id}         session status (+ merged plan after flush)
+//	DELETE /v1/streams/{id}         drop a session
+//	POST   /v1/admin/snapshot       persist the OPQ cache to the durable store
+//	GET    /v1/healthz              readiness probe (uptime, build info, store writability)
+//	GET    /v1/stats                request / latency / cache / job / persistence counters
+//	GET    /metrics                 Prometheus text exposition of every pipeline metric
 //
 // Every route passes through the instrumentation middleware: request ids
 // (X-Request-ID, inbound value respected), per-endpoint status-class and
@@ -47,14 +58,35 @@ func NewHandler(s *Service) http.Handler {
 	handle("POST", "/v1/decompose", true, func(w http.ResponseWriter, r *http.Request) {
 		handleDecompose(s, w, r)
 	})
+	handle("POST", "/v1/decompose/batch", true, func(w http.ResponseWriter, r *http.Request) {
+		handleDecomposeBatch(s, w, r)
+	})
 	handle("POST", "/v1/jobs", true, func(w http.ResponseWriter, r *http.Request) {
 		handleSubmitJob(s, w, r)
 	})
 	handle("GET", "/v1/jobs/{id}", false, func(w http.ResponseWriter, r *http.Request) {
 		handleJobStatus(s, w, r)
 	})
+	handle("GET", "/v1/jobs/{id}/events", false, func(w http.ResponseWriter, r *http.Request) {
+		handleJobEvents(s, w, r)
+	})
 	handle("DELETE", "/v1/jobs/{id}", false, func(w http.ResponseWriter, r *http.Request) {
 		handleCancelJob(s, w, r)
+	})
+	handle("POST", "/v1/streams", true, func(w http.ResponseWriter, r *http.Request) {
+		handleOpenStream(s, w, r)
+	})
+	handle("POST", "/v1/streams/{id}/tasks", true, func(w http.ResponseWriter, r *http.Request) {
+		handleStreamAppend(s, w, r)
+	})
+	handle("POST", "/v1/streams/{id}/flush", false, func(w http.ResponseWriter, r *http.Request) {
+		handleStreamFlush(s, w, r)
+	})
+	handle("GET", "/v1/streams/{id}", false, func(w http.ResponseWriter, r *http.Request) {
+		handleStreamStatus(s, w, r)
+	})
+	handle("DELETE", "/v1/streams/{id}", false, func(w http.ResponseWriter, r *http.Request) {
+		handleStreamDelete(s, w, r)
 	})
 	handle("POST", "/v1/admin/snapshot", false, func(w http.ResponseWriter, r *http.Request) {
 		handleSnapshot(s, w, r)
@@ -150,10 +182,154 @@ func handleDecompose(s *Service, w http.ResponseWriter, r *http.Request) {
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
 	}
 	if req.IncludePlan {
+		// Content negotiation: an Accept of application/x-ndjson streams
+		// the plan body one use per line (the summary header first), never
+		// materializing the run-backed plan.
+		if wantsNDJSON(r) {
+			writeDecomposeNDJSON(w, resp, plan)
+			return
+		}
 		// Materialize lazily, only because the caller asked for per-use
 		// task lists; the solve itself stays in compact run form.
 		resp.Plan = plan.Materialized()
 	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// wantsNDJSON reports whether the client negotiated the NDJSON plan form.
+func wantsNDJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
+// writeDecomposeNDJSON streams a decompose reply as NDJSON: the first
+// line is the plan-less decomposeResponse (solver, n, summary, timing),
+// each following line one bin use — O(runs) server memory however large
+// the plan is.
+func writeDecomposeNDJSON(w http.ResponseWriter, resp decomposeResponse, plan *core.Plan) {
+	resp.Plan = nil
+	data, err := json.Marshal(resp)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(append(data, '\n')); err != nil {
+		return
+	}
+	_ = plan.EncodeUsesNDJSON(w) // mid-stream failure means the client went away
+}
+
+// batchDecomposeRequest is the POST /v1/decompose/batch body: one shared
+// menu solved for many instances. With batching enabled the concurrent
+// member solves coalesce into a single batch window, so the whole request
+// is served by (at most) one shared block-aligned solve per shape — at
+// exactly the same per-instance cost as solo solves.
+type batchDecomposeRequest struct {
+	Bins      []core.TaskBin  `json:"bins"`
+	Solver    string          `json:"solver,omitempty"`
+	Instances []batchInstance `json:"instances"`
+}
+
+// batchInstance is one member's shape: (n, threshold) or per-task
+// thresholds, over the shared menu.
+type batchInstance struct {
+	N          int       `json:"n,omitempty"`
+	Threshold  *float64  `json:"threshold,omitempty"`
+	Thresholds []float64 `json:"thresholds,omitempty"`
+}
+
+// instance builds the member's core.Instance over the shared menu,
+// mirroring instanceRequest.instance's validation.
+func (bi *batchInstance) instance(bins core.BinSet) (*core.Instance, error) {
+	if len(bi.Thresholds) > 0 {
+		if bi.Threshold != nil || bi.N != 0 {
+			return nil, fmt.Errorf("give either thresholds or (n, threshold), not both")
+		}
+		return core.NewHeterogeneous(bins, bi.Thresholds)
+	}
+	if bi.Threshold == nil {
+		return nil, fmt.Errorf("missing threshold(s)")
+	}
+	return core.NewHomogeneous(bins, bi.N, *bi.Threshold)
+}
+
+// batchResult is one member's reply, in request order.
+type batchResult struct {
+	N       int         `json:"n"`
+	Summary PlanSummary `json:"summary"`
+}
+
+// batchDecomposeResponse is the POST /v1/decompose/batch reply.
+type batchDecomposeResponse struct {
+	Solver    string        `json:"solver"`
+	Instances int           `json:"instances"`
+	Results   []batchResult `json:"results"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+}
+
+func handleDecomposeBatch(s *Service, w http.ResponseWriter, r *http.Request) {
+	var req batchDecomposeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Instances) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("batch needs at least one instance"))
+		return
+	}
+	bins, err := core.NewBinSet(req.Bins)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// Validate every member before solving any: a batch either runs
+	// whole or rejects whole, so a typo in member 7 cannot waste the
+	// first six solves.
+	ins := make([]*core.Instance, len(req.Instances))
+	for i := range req.Instances {
+		in, err := req.Instances[i].instance(bins)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("instance %d: %w", i, err))
+			return
+		}
+		ins[i] = in
+	}
+	name := req.Solver
+	if name == "" {
+		name = DefaultSolverName
+	}
+	start := time.Now()
+	// Solve concurrently so the request batcher (when enabled) coalesces
+	// the members into one accumulation window; without a batcher this is
+	// plain fan-out over the solver pool.
+	type memberOut struct {
+		sum PlanSummary
+		err error
+	}
+	outs := make([]memberOut, len(ins))
+	var wg sync.WaitGroup
+	for i, in := range ins {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, sum, err := s.DecomposeSummarized(r.Context(), name, in)
+			outs[i] = memberOut{sum: sum, err: err}
+		}()
+	}
+	wg.Wait()
+	resp := batchDecomposeResponse{
+		Solver:    name,
+		Instances: len(ins),
+		Results:   make([]batchResult, len(ins)),
+	}
+	for i, o := range outs {
+		if o.err != nil {
+			writeErr(w, statusFor(o.err), fmt.Errorf("instance %d: %w", i, o.err))
+			return
+		}
+		resp.Results[i] = batchResult{N: ins[i].N(), Summary: o.sum}
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -227,6 +403,13 @@ func handleSubmitJob(s *Service, w http.ResponseWriter, r *http.Request) {
 	var req jobRequest
 	if !decodeBody(w, r, &req) {
 		return
+	}
+	if req.Type != "" {
+		// The pre-run-jobs name of the discriminator still decodes, but
+		// it is deprecated: responses echo only "kind", the reply carries
+		// a Deprecation header, and the first use per boot logs a warning.
+		w.Header().Set("Deprecation", "true")
+		s.warnTypeAlias()
 	}
 	kind := req.Kind
 	switch {
@@ -321,9 +504,46 @@ func handleJobStatus(s *Service, w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusInternalServerError, err)
 			return
 		}
+		if r.URL.Query().Get("plan_encoding") == "stream" {
+			writePlanStreamed(w, http.StatusOK, resp, plan)
+			return
+		}
 		resp.Plan = plan.Materialized()
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// writePlanStreamed writes resp — a struct whose final field is an
+// omitted-when-empty "plan" — with the plan's uses streamed straight off
+// its runs into that trailing field. The bytes are identical to setting
+// resp.Plan = plan.Materialized() first (pinned by test), but the server
+// memory stays O(runs) however many assignments the plan has.
+func writePlanStreamed(w http.ResponseWriter, code int, resp any, plan *core.Plan) {
+	if plan.NumUses() == 0 {
+		// Materializing would yield nothing and "omitempty" would drop
+		// the field; the plain path already writes those bytes.
+		writeJSON(w, code, resp)
+		return
+	}
+	data, err := json.Marshal(resp)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// Splice: strip the closing brace, stream the plan field, close the
+	// object, and restore writeJSON's trailing newline.
+	if _, err := w.Write(data[:len(data)-1]); err != nil {
+		return
+	}
+	if _, err := io.WriteString(w, `,"plan":`); err != nil {
+		return
+	}
+	if err := plan.EncodeUses(w); err != nil {
+		return // client went away mid-stream; nothing to salvage
+	}
+	_, _ = io.WriteString(w, "}\n")
 }
 
 func handleCancelJob(s *Service, w http.ResponseWriter, r *http.Request) {
@@ -399,7 +619,61 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeErr writes a JSON error envelope.
+// errorDetail is the unified error envelope every route returns:
+// a stable machine-readable code, the human message, and the request id
+// (from the X-Request-ID the middleware minted) for log correlation.
+type errorDetail struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// errorBody is the error response wire form. LegacyError repeats the
+// message at the top level for clients that read the pre-v1.1 shape
+// ({"error":"<string>"}); it is a one-release shim — see docs/API.md's
+// deprecation policy — and will be removed.
+type errorBody struct {
+	Error       errorDetail `json:"error"`
+	LegacyError string      `json:"error_message"`
+}
+
+// errorCode names the machine-readable class of an HTTP error status.
+func errorCode(code int) string {
+	switch {
+	case code == http.StatusNotFound:
+		return "not_found"
+	case code == http.StatusConflict:
+		return "conflict"
+	case code == http.StatusUnprocessableEntity:
+		return "unprocessable"
+	case code == http.StatusTooManyRequests:
+		return "overloaded"
+	case code == statusCanceled:
+		return "client_closed_request"
+	case code >= 500:
+		return "internal"
+	default:
+		return "invalid_request"
+	}
+}
+
+// writeErr writes the unified JSON error envelope.
 func writeErr(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	body := errorBody{
+		Error: errorDetail{
+			Code:      errorCode(code),
+			Message:   err.Error(),
+			RequestID: w.Header().Get("X-Request-ID"),
+		},
+		LegacyError: err.Error(),
+	}
+	writeJSON(w, code, body)
+}
+
+// warnTypeAlias logs the legacy job "type" field deprecation warning,
+// once per process.
+func (s *Service) warnTypeAlias() {
+	s.typeAliasWarn.Do(func() {
+		s.slog.Warn(`legacy job field "type" used; send "kind" instead — "type" will be removed in a future release`)
+	})
 }

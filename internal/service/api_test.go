@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -108,21 +110,34 @@ func TestHTTPDecomposeErrors(t *testing.T) {
 	for _, tc := range []struct {
 		name, body string
 		status     int
+		code       string
 	}{
-		{"malformed", `{"bins":`, http.StatusBadRequest},
-		{"unknown field", `{"bogus":1}`, http.StatusBadRequest},
-		{"no threshold", fmt.Sprintf(`{"bins":%s,"n":5}`, table1JSON), http.StatusBadRequest},
-		{"both threshold forms", fmt.Sprintf(`{"bins":%s,"n":5,"threshold":0.9,"thresholds":[0.9]}`, table1JSON), http.StatusBadRequest},
-		{"bad menu", `{"bins":[{"cardinality":0,"confidence":0.9,"cost":0.1}],"n":5,"threshold":0.9}`, http.StatusBadRequest},
-		{"unknown solver", fmt.Sprintf(`{"bins":%s,"n":5,"threshold":0.9,"solver":"nope"}`, table1JSON), http.StatusUnprocessableEntity},
+		{"malformed", `{"bins":`, http.StatusBadRequest, "invalid_request"},
+		{"unknown field", `{"bogus":1}`, http.StatusBadRequest, "invalid_request"},
+		{"no threshold", fmt.Sprintf(`{"bins":%s,"n":5}`, table1JSON), http.StatusBadRequest, "invalid_request"},
+		{"both threshold forms", fmt.Sprintf(`{"bins":%s,"n":5,"threshold":0.9,"thresholds":[0.9]}`, table1JSON), http.StatusBadRequest, "invalid_request"},
+		{"bad menu", `{"bins":[{"cardinality":0,"confidence":0.9,"cost":0.1}],"n":5,"threshold":0.9}`, http.StatusBadRequest, "invalid_request"},
+		{"unknown solver", fmt.Sprintf(`{"bins":%s,"n":5,"threshold":0.9,"solver":"nope"}`, table1JSON), http.StatusUnprocessableEntity, "unprocessable"},
 	} {
 		resp, raw := postJSON(t, ts.URL+"/v1/decompose", tc.body)
 		if resp.StatusCode != tc.status {
 			t.Errorf("%s: status %d want %d (%s)", tc.name, resp.StatusCode, tc.status, raw)
 		}
-		var e map[string]string
-		if err := json.Unmarshal(raw, &e); err != nil || e["error"] == "" {
+		var e errorBody
+		if err := json.Unmarshal(raw, &e); err != nil || e.Error.Message == "" {
 			t.Errorf("%s: no error envelope in %s", tc.name, raw)
+			continue
+		}
+		if e.Error.Code != tc.code {
+			t.Errorf("%s: error code %q want %q", tc.name, e.Error.Code, tc.code)
+		}
+		if e.Error.RequestID == "" || e.Error.RequestID != resp.Header.Get("X-Request-ID") {
+			t.Errorf("%s: envelope request id %q != header %q", tc.name, e.Error.RequestID, resp.Header.Get("X-Request-ID"))
+		}
+		// The pre-v1.1 top-level string survives one release as
+		// "error_message"; it must mirror the envelope's message.
+		if e.LegacyError != e.Error.Message {
+			t.Errorf("%s: legacy shim %q != message %q", tc.name, e.LegacyError, e.Error.Message)
 		}
 	}
 }
@@ -400,5 +415,229 @@ func TestStatusForSummarizeError(t *testing.T) {
 	}
 	if got := statusFor(fmt.Errorf("service: unknown solver")); got != http.StatusUnprocessableEntity {
 		t.Errorf("solve error mapped to %d, want 422", got)
+	}
+}
+
+// TestHTTPDecomposeBatch pins the batch endpoint's contract: per-instance
+// results come back in request order and each instance's cost exactly
+// equals a solo solve — with and without the request batcher coalescing
+// the members into one window.
+func TestHTTPDecomposeBatch(t *testing.T) {
+	menu := binset.Table1()
+	shapes := []struct {
+		n int
+		t float64
+	}{{100, 0.95}, {250, 0.9}, {37, 0.95}, {100, 0.95}}
+	want := make([]float64, len(shapes))
+	for i, sh := range shapes {
+		in := core.MustHomogeneous(menu, sh.n, sh.t)
+		ref, err := (opq.Solver{}).Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = ref.MustCost(menu)
+	}
+	body := fmt.Sprintf(`{"bins":%s,"instances":[
+		{"n":100,"threshold":0.95},{"n":250,"threshold":0.9},
+		{"n":37,"threshold":0.95},{"n":100,"threshold":0.95}]}`, table1JSON)
+
+	for name, cfg := range map[string]Config{
+		"unbatched": {CacheSize: 8, Workers: 2},
+		"batched":   {CacheSize: 8, Workers: 4, BatchWindow: 2 * time.Millisecond},
+	} {
+		t.Run(name, func(t *testing.T) {
+			svc := New(cfg)
+			t.Cleanup(func() { svc.Close() })
+			ts := httptest.NewServer(NewHandler(svc))
+			t.Cleanup(ts.Close)
+
+			resp, raw := postJSON(t, ts.URL+"/v1/decompose/batch", body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, raw)
+			}
+			var br batchDecomposeResponse
+			if err := json.Unmarshal(raw, &br); err != nil {
+				t.Fatal(err)
+			}
+			if br.Solver != DefaultSolverName || br.Instances != len(shapes) || len(br.Results) != len(shapes) {
+				t.Fatalf("batch response header: %+v", br)
+			}
+			for i, res := range br.Results {
+				if res.N != shapes[i].n {
+					t.Errorf("result %d: n %d want %d (order lost?)", i, res.N, shapes[i].n)
+				}
+				if res.Summary.Cost != want[i] {
+					t.Errorf("result %d: cost %v != solo cost %v", i, res.Summary.Cost, want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestHTTPDecomposeBatchErrors: an invalid member fails the whole batch
+// with its index in the message, before any solving happens.
+func TestHTTPDecomposeBatchErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	for name, tc := range map[string]struct {
+		body   string
+		status int
+	}{
+		"no instances":   {fmt.Sprintf(`{"bins":%s,"instances":[]}`, table1JSON), http.StatusBadRequest},
+		"bad member":     {fmt.Sprintf(`{"bins":%s,"instances":[{"n":5,"threshold":0.9},{"n":5}]}`, table1JSON), http.StatusBadRequest},
+		"bad menu":       {`{"bins":[],"instances":[{"n":5,"threshold":0.9}]}`, http.StatusBadRequest},
+		"unknown solver": {fmt.Sprintf(`{"bins":%s,"solver":"nope","instances":[{"n":5,"threshold":0.9}]}`, table1JSON), http.StatusUnprocessableEntity},
+	} {
+		resp, raw := postJSON(t, ts.URL+"/v1/decompose/batch", tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d want %d (%s)", name, resp.StatusCode, tc.status, raw)
+		}
+	}
+	// The member index is named so the client can fix the right one.
+	_, raw := postJSON(t, ts.URL+"/v1/decompose/batch",
+		fmt.Sprintf(`{"bins":%s,"instances":[{"n":5,"threshold":0.9},{"n":5}]}`, table1JSON))
+	var e errorBody
+	if err := json.Unmarshal(raw, &e); err != nil || !strings.Contains(e.Error.Message, "instance 1") {
+		t.Fatalf("bad member error does not name the index: %s", raw)
+	}
+}
+
+// TestHTTPDecomposeNDJSON: Accept: application/x-ndjson streams the plan
+// one use per line after a plan-less summary line.
+func TestHTTPDecomposeNDJSON(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := fmt.Sprintf(`{"bins":%s,"n":100,"threshold":0.95,"include_plan":true}`, table1JSON)
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/decompose", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(raw), "\n"), "\n")
+	var dr decomposeResponse
+	if err := json.Unmarshal([]byte(lines[0]), &dr); err != nil {
+		t.Fatalf("header line: %v (%s)", err, lines[0])
+	}
+	if dr.Plan != nil {
+		t.Fatalf("NDJSON header line carries an inline plan")
+	}
+	uses := make([]core.BinUse, 0, len(lines)-1)
+	for i, ln := range lines[1:] {
+		var u core.BinUse
+		if err := json.Unmarshal([]byte(ln), &u); err != nil {
+			t.Fatalf("use line %d: %v (%s)", i, err, ln)
+		}
+		uses = append(uses, u)
+	}
+	// The line-by-line plan is the same plan the JSON form returns.
+	var plain decomposeResponse
+	_, plainRaw := postJSON(t, ts.URL+"/v1/decompose", body)
+	if err := json.Unmarshal(plainRaw, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if len(uses) != len(plain.Plan) {
+		t.Fatalf("NDJSON uses %d != JSON uses %d", len(uses), len(plain.Plan))
+	}
+	for i := range uses {
+		if uses[i].Cardinality != plain.Plan[i].Cardinality || len(uses[i].Tasks) != len(plain.Plan[i].Tasks) {
+			t.Fatalf("use %d differs: %+v vs %+v", i, uses[i], plain.Plan[i])
+		}
+	}
+	// Without include_plan the Accept header changes nothing.
+	noPlan := fmt.Sprintf(`{"bins":%s,"n":10,"threshold":0.9}`, table1JSON)
+	req2, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/decompose", strings.NewReader(noPlan))
+	req2.Header.Set("Content-Type", "application/json")
+	req2.Header.Set("Accept", "application/x-ndjson")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if ct := resp2.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("plan-less NDJSON negotiation: content type %q", ct)
+	}
+}
+
+// TestHTTPJobPlanEncodingStream: ?plan_encoding=stream returns bytes
+// identical to the default materialized encoding — the splice is
+// invisible on the wire.
+func TestHTTPJobPlanEncodingStream(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := fmt.Sprintf(`{"bins":%s,"n":500,"threshold":0.95}`, table1JSON)
+	resp, raw := postJSON(t, ts.URL+"/v1/jobs", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, raw)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var cur JobStatus
+		if getJSON(t, ts.URL+"/v1/jobs/"+st.ID, &cur); cur.State.Terminal() {
+			if cur.State != JobDone {
+				t.Fatalf("job ended %q: %s", cur.State, cur.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	base := ts.URL + "/v1/jobs/" + st.ID + "?include_plan=true"
+	plain := httpGetRaw(t, base)
+	streamed := httpGetRaw(t, base+"&plan_encoding=stream")
+	if string(plain) != string(streamed) {
+		t.Fatalf("plan_encoding=stream not byte-identical:\nstream: %.120s\nplain:  %.120s", streamed, plain)
+	}
+	// Without include_plan the encoding knob is inert.
+	noPlan := httpGetRaw(t, ts.URL+"/v1/jobs/"+st.ID+"?plan_encoding=stream")
+	var stNoPlan jobStatusResponse
+	if err := json.Unmarshal(noPlan, &stNoPlan); err != nil || stNoPlan.Plan != nil {
+		t.Fatalf("plan_encoding without include_plan leaked a plan: %s", noPlan)
+	}
+}
+
+// TestHTTPTypeAliasDeprecation: the legacy "type" discriminator still
+// works but is flagged with a Deprecation header; "kind" is not.
+func TestHTTPTypeAliasDeprecation(t *testing.T) {
+	_, ts := newTestServer(t)
+	legacy := fmt.Sprintf(`{"type":"solve","bins":%s,"n":5,"threshold":0.9}`, table1JSON)
+	resp, raw := postJSON(t, ts.URL+"/v1/jobs", legacy)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("legacy submit status %d: %s", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Fatalf("legacy type submission missing Deprecation header")
+	}
+	// The response echoes only the canonical discriminator.
+	if bytes.Contains(raw, []byte(`"type"`)) {
+		t.Fatalf("job status echoes deprecated field: %s", raw)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(raw, &st); err != nil || st.Kind != KindSolve {
+		t.Fatalf("legacy submit kind: %s", raw)
+	}
+
+	modern := fmt.Sprintf(`{"kind":"solve","bins":%s,"n":5,"threshold":0.9}`, table1JSON)
+	resp, _ = postJSON(t, ts.URL+"/v1/jobs", modern)
+	if resp.Header.Get("Deprecation") != "" {
+		t.Fatalf("canonical submission wrongly flagged deprecated")
 	}
 }

@@ -386,6 +386,11 @@ func (m *JobManager) janitor() {
 			return
 		case now := <-t.C:
 			m.sweep(now)
+			// Stream sessions share the result TTL and ride the same
+			// janitor instead of running a second timer.
+			if m.svc.streams != nil {
+				m.svc.streams.sweep(now)
+			}
 		}
 	}
 }
@@ -415,6 +420,7 @@ func (m *JobManager) sweep(now time.Time) {
 	}
 	m.mu.Unlock()
 	for _, id := range expired {
+		m.svc.events.drop(id)
 		m.deleteStored(id)
 	}
 }
@@ -551,6 +557,9 @@ func (m *JobManager) run(ctx context.Context, j *job) {
 	j.state = JobRunning
 	j.started = time.Now()
 	m.mu.Unlock()
+	// The first event of every job's feed: it started running. Run jobs
+	// follow with per-bin progress frames from the executor observer.
+	m.svc.events.publish(j.id, JobEvent{State: JobRunning})
 
 	plan, report, err := m.execute(ctx, j)
 	if err == nil && ctx.Err() != nil {
@@ -660,11 +669,33 @@ func (m *JobManager) settle(j *job, plan *core.Plan, report *ExecutionReport, er
 	if persist {
 		m.persistWG.Add(1) // under the lock, so close cannot miss it
 	}
+	ev := terminalEventLocked(j)
 	m.mu.Unlock()
+	m.svc.events.publish(j.id, ev)
 	if persist {
 		defer m.persistWG.Done()
 		m.persist(rec)
 	}
+}
+
+// terminalEventLocked builds a job's terminal SSE frame. Caller holds
+// m.mu and the job is terminal.
+func terminalEventLocked(j *job) JobEvent {
+	ev := JobEvent{
+		State:   j.state,
+		Summary: j.summary,
+		Report:  j.report,
+	}
+	if j.err != nil {
+		ev.Error = j.err.Error()
+	}
+	if j.report != nil {
+		ev.BinsIssued = j.report.BinsIssued
+		ev.TopUpRounds = j.report.TopUpRounds
+		ev.Spent = j.report.Spent
+		ev.DeliveredMass = j.report.DeliveredMass
+	}
+	return ev
 }
 
 // summarize computes the result summary against the job's menu.
@@ -700,6 +731,7 @@ func (m *JobManager) expire(id string) bool {
 	delete(m.jobs, id)
 	m.counts.expired++
 	m.mu.Unlock()
+	m.svc.events.drop(id)
 	m.deleteStored(id)
 	return true
 }
@@ -772,7 +804,11 @@ func (m *JobManager) Cancel(id string) error {
 		j.finished = time.Now()
 		j.runner = nil
 		m.counts.canceled++
+		ev := terminalEventLocked(j)
 		m.mu.Unlock()
+		// This path settles the job without going through settle, so it
+		// publishes the terminal frame itself.
+		m.svc.events.publish(id, ev)
 		j.cancel()
 		return nil
 	}
@@ -798,6 +834,7 @@ func (m *JobManager) EvictJob(id string) error {
 	}
 	delete(m.jobs, id)
 	m.mu.Unlock()
+	m.svc.events.drop(id)
 	m.deleteStored(id)
 	return nil
 }

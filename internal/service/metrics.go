@@ -76,6 +76,17 @@ type serviceMetrics struct {
 	execTopUpRounds *obs.Counter
 	execJobSpend    *obs.Histogram
 
+	// Job-event streaming (SSE).
+	sseSubscribers     *obs.Gauge
+	sseEventsPublished *obs.Counter
+
+	// Incremental-ingest stream sessions.
+	streamSessionsOpened  *obs.Counter
+	streamSessionsActive  *obs.Gauge
+	streamSessionsExpired *obs.Counter
+	streamTasksAppended   *obs.Counter
+	streamFlushes         *obs.Counter
+
 	// Store.
 	storeOpDuration map[string]*obs.Histogram
 	storeOpErrors   map[string]*obs.Counter
@@ -152,6 +163,15 @@ func newServiceMetrics() *serviceMetrics {
 		execTopUpRounds: reg.Counter("slade_executor_topup_rounds_total", "Adaptive top-up rounds executed."),
 		execJobSpend: reg.Histogram("slade_executor_job_spend", "Total spend per completed run job.",
 			obs.HistogramOpts{Base: 0.01, Growth: 2, Buckets: 30}),
+
+		sseSubscribers:     reg.Gauge("slade_sse_subscribers", "Open SSE job-event subscriptions."),
+		sseEventsPublished: reg.Counter("slade_sse_events_total", "Job events published to SSE feeds."),
+
+		streamSessionsOpened:  reg.Counter("slade_stream_sessions_opened_total", "Incremental-ingest stream sessions opened."),
+		streamSessionsActive:  reg.Gauge("slade_stream_sessions_active", "Incremental-ingest stream sessions currently resident."),
+		streamSessionsExpired: reg.Counter("slade_stream_sessions_expired_total", "Stream sessions reaped by the result TTL."),
+		streamTasksAppended:   reg.Counter("slade_stream_tasks_total", "Tasks appended to stream sessions."),
+		streamFlushes:         reg.Counter("slade_stream_flushes_total", "Stream session flushes."),
 
 		storeOpDuration: make(map[string]*obs.Histogram, len(storeOps)),
 		storeOpErrors:   make(map[string]*obs.Counter, len(storeOps)),
@@ -365,6 +385,17 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 		r.status = http.StatusOK
 	}
 	return r.ResponseWriter.Write(p)
+}
+
+// Flush forwards to the underlying writer so streaming handlers (SSE,
+// chunked plan encoding) can push frames through the middleware.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		if r.status == 0 {
+			r.status = http.StatusOK
+		}
+		f.Flush()
+	}
 }
 
 // queueWaitP95 returns the solver pool's queue-wait p95 in seconds over

@@ -136,6 +136,10 @@ type ExecutionReport struct {
 	// the total paid including retries and top-up rounds.
 	PlannedCost float64 `json:"planned_cost"`
 	Spent       float64 `json:"spent"`
+	// DeliveredMass is the total transformed reliability mass delivered by
+	// in-time bins, summed over tasks — the quantity live progress events
+	// report, echoed here so the terminal event and the report agree.
+	DeliveredMass float64 `json:"delivered_mass"`
 	// BinsIssued counts every bin handed to a worker (with retries);
 	// OvertimeBins missed the deadline, AbandonedBins stayed overtime
 	// after the retry budget, TopUpRounds counts adaptive rounds.
@@ -225,6 +229,7 @@ func newExecutionReport(rj *RunJob, rep *executor.Report, truth []bool) *Executi
 		Seed:                    rj.Platform.Seed,
 		PlannedCost:             rep.PlannedCost,
 		Spent:                   rep.Spent,
+		DeliveredMass:           rep.DeliveredMassTotal(),
 		BinsIssued:              rep.BinsIssued,
 		OvertimeBins:            rep.OvertimeBins,
 		AbandonedBins:           rep.AbandonedBins,
@@ -275,7 +280,9 @@ func (m *JobManager) runRun(ctx context.Context, j *job) (*core.Plan, *Execution
 	truth := rj.truth()
 	opts := rj.Options
 	if bm := m.svc.metrics; bm != nil {
-		opts.Observer = execObserver{m: bm}
+		// One observer feeds both sinks: the metric bundle and the job's
+		// SSE event feed (executor.ProgressObserver).
+		opts.Observer = &jobEventObserver{metrics: execObserver{m: bm}, hub: m.svc.events, jobID: j.id}
 	}
 	rep, err := executor.ExecuteContext(ctx, j.runner, rj.Instance, plan, truth, opts)
 	if err != nil {

@@ -72,6 +72,10 @@ type Config struct {
 	// joined it; <= 0 selects DefaultBatchMaxRequests. Only meaningful
 	// with BatchWindow > 0.
 	BatchMaxRequests int
+	// SSEHeartbeat is the comment-frame interval on GET /v1/jobs/{id}/events
+	// streams, keeping idle connections alive through proxies; <= 0 selects
+	// DefaultSSEHeartbeat (15s).
+	SSEHeartbeat time.Duration
 }
 
 // ErrNoStore tags operations that need a durable store on a service
@@ -98,8 +102,16 @@ type Service struct {
 	// metrics is the observability bundle every pipeline stage writes
 	// into; always non-nil (see metrics.go).
 	metrics *serviceMetrics
+	// events is the per-job SSE broadcast hub; always non-nil.
+	events *eventHub
+	// streams manages incremental-ingest planner sessions; always non-nil.
+	streams *StreamManager
 	// maxQueueWait is the admission-control threshold; 0 disables.
 	maxQueueWait time.Duration
+
+	// typeAliasWarn rate-limits the legacy job "type" field warning to one
+	// structured log line per process.
+	typeAliasWarn sync.Once
 
 	mu      sync.RWMutex
 	solvers map[string]core.Solver
@@ -156,6 +168,10 @@ func New(cfg Config) *Service {
 	if cfg.BatchWindow > 0 {
 		s.batcher = newBatcher(s, cfg.BatchWindow, cfg.BatchMaxRequests)
 	}
+	// The event hub and stream manager exist before the job manager: jobs
+	// replayed at construction must find a hub to publish into.
+	s.events = newEventHub(cfg.SSEHeartbeat, s.metrics)
+	s.streams = newStreamManager(s, cfg.ResultTTL)
 	s.jobs = newJobManager(s, maxJobs, s.store, cfg.ResultTTL, logger, cfg.PlatformFactory)
 	s.registerCollectors()
 
@@ -172,6 +188,7 @@ func New(cfg Config) *Service {
 // Idempotent and safe for concurrent use.
 func (s *Service) Close() error {
 	s.jobs.close()
+	s.events.close() // wake every SSE subscriber so handlers return
 	return nil
 }
 
@@ -447,6 +464,8 @@ type Stats struct {
 	Batch BatchStats `json:"batch"`
 	// Jobs reports async job counters.
 	Jobs JobStats `json:"jobs"`
+	// Streams reports incremental-ingest stream-session counters.
+	Streams StreamStats `json:"streams"`
 	// Persistence reports the durable state layer's status.
 	Persistence PersistenceStats `json:"persistence"`
 	// Solvers lists the registered solver names.
@@ -482,6 +501,7 @@ func (s *Service) Stats() Stats {
 		QueueWait:     newLatencySummary(s.metrics.shardObs.QueueWait.Snapshot()),
 		Cache:         s.cache.Stats(),
 		Jobs:          s.jobs.Stats(),
+		Streams:       s.streams.stats(),
 		Persistence: PersistenceStats{
 			Enabled:          s.store != nil,
 			ResultTTLSeconds: s.jobs.ttl.Seconds(),

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	slade "repro"
+	"repro/internal/cluster/testcluster"
+	"repro/internal/service"
+)
+
+// clusterBench is the machine-readable outcome of the cluster smoke,
+// written as JSON when -cluster-json is set.
+type clusterBench struct {
+	Nodes int `json:"nodes"`
+	// HealthyMS is the clustered decompose latency with all peers up;
+	// DegradedMS the same request after one peer is killed (retry budget
+	// exhausts against the dead address, its span falls back locally).
+	HealthyMS  float64 `json:"healthy_ms"`
+	DegradedMS float64 `json:"degraded_ms"`
+	// Cost is the clustered plan cost; parity with the single-node solve
+	// of the same instance is asserted exactly, so a written file is
+	// itself evidence the invariant held.
+	Cost        float64 `json:"cost"`
+	SpansRemote uint64  `json:"spans_remote"`
+	SpansLocal  uint64  `json:"spans_local"`
+	Fallbacks   uint64  `json:"fallbacks"`
+}
+
+// runClusterSmoke boots an in-process 3-node sladed cluster (real HTTP
+// between nodes, fault injector on every peer link), fans one decompose
+// across it, kills a peer, and repeats — asserting both times that the
+// clustered cost equals the single-node solve of the same instance bit
+// for bit. It is the deployable-shaped version of the chaos test: a
+// one-command check that scale-out on this machine changes latency, not
+// answers.
+func runClusterSmoke(w io.Writer, jsonPath string) error {
+	tc, err := testcluster.Start(testcluster.Options{Nodes: 3, Seed: 42, Workers: 2, Timeout: 15 * time.Second})
+	if err != nil {
+		return err
+	}
+	defer tc.Close()
+
+	menu, err := slade.JellyMenu(20)
+	if err != nil {
+		return err
+	}
+	binsJSON, err := json.Marshal(menu.Bins())
+	if err != nil {
+		return err
+	}
+	const n, threshold = 20000, 0.9
+	body := fmt.Sprintf(`{"bins":%s,"n":%d,"threshold":%g}`, binsJSON, n, threshold)
+	entry := tc.Node(0)
+
+	bench := clusterBench{Nodes: 3}
+	fmt.Fprintf(w, "cluster smoke test: 3 nodes, entry %s\n", entry.URL)
+
+	// Single-node reference for the parity assertion.
+	ref := service.New(service.Config{Workers: 2, Logger: log.New(io.Discard, "", 0)})
+	defer ref.Close()
+	in, err := slade.NewHomogeneous(menu, n, threshold)
+	if err != nil {
+		return err
+	}
+	_, refSum, err := ref.DecomposeSummarized(context.Background(), service.DefaultSolverName, in)
+	if err != nil {
+		return fmt.Errorf("single-node reference solve: %w", err)
+	}
+
+	solve := func(tag string) (float64, time.Duration, error) {
+		start := time.Now()
+		resp, err := http.Post(entry.URL+"/v1/decompose", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			return 0, 0, fmt.Errorf("%s decompose: %w", tag, err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Solver  string `json:"solver"`
+			Summary struct {
+				Cost float64 `json:"cost"`
+			} `json:"summary"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return 0, 0, fmt.Errorf("%s decompose: %w", tag, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, 0, fmt.Errorf("%s decompose: status %d", tag, resp.StatusCode)
+		}
+		if out.Solver != service.ClusterSolverName {
+			return 0, 0, fmt.Errorf("%s decompose: served by %q, want %q", tag, out.Solver, service.ClusterSolverName)
+		}
+		return out.Summary.Cost, time.Since(start), nil
+	}
+
+	cost, healthy, err := solve("healthy")
+	if err != nil {
+		return err
+	}
+	if cost != refSum.Cost {
+		return fmt.Errorf("healthy cluster cost %v != single-node cost %v — distribution changed the answer", cost, refSum.Cost)
+	}
+	bench.Cost = cost
+	bench.HealthyMS = healthy.Seconds() * 1e3
+	fmt.Fprintf(w, "  healthy decompose (n=%d):  %8.2f ms  (cost %.2f = single-node)\n", n, bench.HealthyMS, cost)
+
+	// Kill one peer; its span must fall back locally with the same bytes.
+	victim := tc.Node(2).URL
+	tc.Faults.Kill(victim)
+	cost, degraded, err := solve("degraded")
+	if err != nil {
+		return err
+	}
+	if cost != refSum.Cost {
+		return fmt.Errorf("degraded cluster cost %v != single-node cost %v — fallback changed the answer", cost, refSum.Cost)
+	}
+	bench.DegradedMS = degraded.Seconds() * 1e3
+	fmt.Fprintf(w, "  peer killed, decompose:       %8.2f ms  (cost unchanged, fallback absorbed it)\n", bench.DegradedMS)
+	tc.Faults.Revive(victim)
+
+	st := entry.Service.Stats()
+	if st.Cluster == nil {
+		return fmt.Errorf("entry node reports no cluster stats")
+	}
+	bench.SpansRemote = st.Cluster.SpansRemote
+	bench.SpansLocal = st.Cluster.SpansLocal
+	bench.Fallbacks = st.Cluster.Fallbacks
+	fmt.Fprintf(w, "  spans: remote=%d local=%d fallbacks=%d\n", bench.SpansRemote, bench.SpansLocal, bench.Fallbacks)
+	for _, p := range st.Cluster.Peers {
+		fmt.Fprintf(w, "  peer %s state=%s requests=%d failures=%d fallbacks=%d\n",
+			p.URL, p.State, p.Requests, p.Failures, p.Fallbacks)
+	}
+	if bench.SpansRemote == 0 {
+		return fmt.Errorf("no spans solved remotely — the fan-out never left the entry node")
+	}
+	if bench.Fallbacks == 0 {
+		return fmt.Errorf("killed peer produced no fallbacks — the degraded request never hit it")
+	}
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing cluster bench json: %w", err)
+		}
+		fmt.Fprintf(w, "  bench json written to %s\n", jsonPath)
+	}
+	fmt.Fprintln(w, "  OK")
+	return nil
+}

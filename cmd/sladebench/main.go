@@ -11,6 +11,7 @@
 //	sladebench -solve-bench -solve-json BENCH_solve.json -solve-alloc-budget 24
 //	                               # hot-path solve benchmark + allocs/op gate
 //	sladebench -metrics            # smoke-test the /metrics exposition
+//	sladebench -cluster            # smoke-test the multi-node cluster fan-out
 //
 // -serve boots an in-process sladed service, fires warm- and cold-cache
 // decompose requests plus an async solve job and a "kind":"run" execution
@@ -34,6 +35,12 @@
 // Prometheus exposition linter — every route series and every per-stage
 // metric family must be present. The -serve smoke also scrapes /metrics
 // under warm decompose load and records the scrape latency in its JSON.
+//
+// -cluster boots an in-process 3-node sladed cluster (real HTTP between
+// nodes), fans one large decompose across it, kills a peer, and repeats —
+// asserting both times that the clustered cost exactly equals a
+// single-node solve of the same instance. -cluster-json writes the
+// measurements (healthy vs degraded latency, span and fallback counters).
 //
 // Figure identifiers follow the paper: 6a/6c (Jelly, t vs cost/time),
 // 6b/6d (SMIC), 6e/6g and 6f/6h (|B| sweeps), 6i/6k and 6j/6l (scalability),
@@ -59,8 +66,17 @@ func main() {
 	solveJSON := flag.String("solve-json", "", "with -solve-bench, also write the measurements as JSON to this path")
 	solveBudget := flag.Int64("solve-alloc-budget", 0, "with -solve-bench, fail if cached solve+materialize exceeds this many allocs/op (0 = no gate)")
 	metrics := flag.Bool("metrics", false, "smoke-test the /metrics exposition: drive every route, scrape, and lint")
+	clusterSmoke := flag.Bool("cluster", false, "smoke-test the multi-node cluster: 3-node fan-out, peer kill, cost parity")
+	clusterJSON := flag.String("cluster-json", "", "with -cluster, also write the measurements as JSON to this path")
 	flag.Parse()
 
+	if *clusterSmoke {
+		if err := runClusterSmoke(os.Stdout, *clusterJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "sladebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *metrics {
 		if err := runMetricsSmoke(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "sladebench:", err)

@@ -21,6 +21,19 @@
 //	sladed -max-queue-wait 250ms  # shed solve traffic when queue-wait p95 exceeds 250ms
 //	sladed -sse-heartbeat 15s     # SSE keep-alive comment interval for /v1/jobs/{id}/events
 //	sladed -log-json              # structured request logs as JSON lines
+//	sladed -peers http://b:8080,http://c:8080 -advertise http://a:8080
+//	                              # clustered: fan shards out to peers b and c
+//	sladed -cluster-timeout 10s   # per-attempt remote span solve deadline
+//	sladed -peer-retries 1        # re-send a failed span once before local fallback
+//
+// With -peers set, homogeneous solves are split into block-aligned spans
+// and fanned out across the peer ring (consistent hash of the menu
+// fingerprint, so each node's OPQ cache stays hot for the menus it owns).
+// Peer failures fall back to local solves — the merged plan is
+// byte-identical to a single-node solve either way — and persistent
+// failures circuit-break the peer until a cooldown probe succeeds.
+// /v1/stats grows a "cluster" block and /v1/healthz reports per-peer
+// breaker state.
 //
 // By default the daemon coalesces concurrent same-menu decompose traffic
 // into shared block-aligned solves (-batch-window 2ms): requests sharing
@@ -55,6 +68,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -74,6 +88,10 @@ func main() {
 	maxQueueWait := flag.Duration("max-queue-wait", 0, "shed solve traffic (429 + Retry-After) when solver queue-wait p95 exceeds this (0 = never shed)")
 	sseHeartbeat := flag.Duration("sse-heartbeat", 0, "keep-alive comment interval on SSE event streams (0 = 15s default)")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON lines instead of text")
+	peers := flag.String("peers", "", "comma-separated peer base URLs; non-empty enables clustered shard fan-out")
+	advertise := flag.String("advertise", "", "this node's own base URL on the cluster ring (required with -peers when peers list this node back)")
+	clusterTimeout := flag.Duration("cluster-timeout", 0, "per-attempt deadline for one remote span solve (0 = 10s default)")
+	peerRetries := flag.Int("peer-retries", 1, "re-send a failed span to its peer this many times before local fallback")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -89,6 +107,10 @@ func main() {
 			BatchMaxRequests: *batchMax,
 			MaxQueueWait:     *maxQueueWait,
 			SSEHeartbeat:     *sseHeartbeat,
+			Peers:            splitPeers(*peers),
+			ClusterSelf:      *advertise,
+			ClusterTimeout:   *clusterTimeout,
+			PeerRetries:      *peerRetries,
 		},
 		dataDir:          *dataDir,
 		snapshotInterval: *snapInterval,
@@ -100,6 +122,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sladed:", err)
 		os.Exit(1)
 	}
+}
+
+// splitPeers parses the -peers flag: comma-separated URLs, blanks dropped.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // daemonConfig bundles the service configuration with the daemon-level
@@ -156,8 +189,8 @@ func serve(ctx context.Context, ln net.Listener, cfg daemonConfig, logger *log.L
 		Handler:           slade.NewServiceHandler(svc),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	logger.Printf("sladed listening on %s (workers=%d, durable=%v, batch-window=%v)",
-		ln.Addr(), svc.Stats().Workers, cfg.dataDir != "", cfg.service.BatchWindow)
+	logger.Printf("sladed listening on %s (workers=%d, durable=%v, batch-window=%v, peers=%d)",
+		ln.Addr(), svc.Stats().Workers, cfg.dataDir != "", cfg.service.BatchWindow, len(cfg.service.Peers))
 
 	// The snapshot loop runs on a child context so it also stops when
 	// Serve fails on its own (fatal accept error) rather than only on a

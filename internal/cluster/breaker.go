@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states. The wire names (reported in /v1/stats and /v1/healthz)
+// are the operator-facing vocabulary: "ok" (closed, traffic flows),
+// "open" (peer shut out, cooldown running), "probing" (half-open, one
+// trial request in flight).
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// DefaultFailureThreshold is the consecutive-failure count that opens a
+// peer's breaker when Config.FailureThreshold is zero.
+const DefaultFailureThreshold = 3
+
+// DefaultCooldown is how long an open breaker shuts a peer out before the
+// next probe when Config.Cooldown is zero.
+const DefaultCooldown = 15 * time.Second
+
+// breaker is a per-peer circuit breaker: threshold consecutive failures
+// open it for cooldown, after which exactly one probe request is let
+// through (half-open); the probe's outcome closes or re-opens it. All
+// methods are safe for concurrent use.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    int
+	failures int       // consecutive, since the last success
+	openedAt time.Time // of the most recent open transition
+	opens    uint64    // lifetime open transitions
+	lastErr  string    // most recent failure, for health reports
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if threshold <= 0 {
+		threshold = DefaultFailureThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultCooldown
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether a request may be sent to the peer right now. An
+// open breaker whose cooldown has elapsed admits exactly one caller (the
+// probe) and moves to half-open; further callers are refused until the
+// probe settles via record.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: the probe is already out
+		return false
+	}
+}
+
+// record settles one attempt's outcome. Any success closes the breaker
+// and clears the failure run; a failure while half-open (the probe
+// failed) or the threshold-th consecutive failure re-opens it.
+func (b *breaker) record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.state = breakerClosed
+		b.failures = 0
+		b.lastErr = ""
+		return
+	}
+	b.failures++
+	b.lastErr = err.Error()
+	if b.state == breakerHalfOpen || (b.state == breakerClosed && b.failures >= b.threshold) {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.opens++
+	}
+}
+
+// stateName renders the operator-facing state string.
+func (b *breaker) stateName() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "probing"
+	default:
+		return "ok"
+	}
+}
+
+// snapshot returns the fields health and stats reports need in one lock
+// acquisition.
+func (b *breaker) snapshot() (state string, failures int, opens uint64, lastErr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		state = "open"
+	case breakerHalfOpen:
+		state = "probing"
+	default:
+		state = "ok"
+	}
+	return state, b.failures, b.opens, b.lastErr
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for breaker cooldown tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func mustState(t *testing.T, b *breaker, want string) {
+	t.Helper()
+	if got := b.stateName(); got != want {
+		t.Fatalf("state: got %q, want %q", got, want)
+	}
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(3, time.Second, clk.now)
+	boom := errors.New("boom")
+
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		b.record(boom)
+		mustState(t, b, "ok")
+	}
+	b.record(boom) // third consecutive failure
+	mustState(t, b, "open")
+	if b.allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+	if _, failures, opens, lastErr := b.snapshot(); failures != 3 || opens != 1 || lastErr != "boom" {
+		t.Fatalf("snapshot: failures=%d opens=%d lastErr=%q", failures, opens, lastErr)
+	}
+}
+
+func TestBreakerProbeSuccessCloses(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(1, time.Second, clk.now)
+	b.record(errors.New("x"))
+	mustState(t, b, "open")
+
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("cooled-down breaker refused the probe")
+	}
+	mustState(t, b, "probing")
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second concurrent request")
+	}
+	b.record(nil)
+	mustState(t, b, "ok")
+	if !b.allow() {
+		t.Fatal("closed breaker refused traffic after successful probe")
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(1, time.Second, clk.now)
+	b.record(errors.New("x"))
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("probe refused")
+	}
+	b.record(errors.New("still dead"))
+	mustState(t, b, "open")
+	if b.allow() {
+		t.Fatal("re-opened breaker admitted traffic with a fresh cooldown pending")
+	}
+	if _, _, opens, _ := b.snapshot(); opens != 2 {
+		t.Fatalf("opens: got %d, want 2", opens)
+	}
+	// Success after the next probe still recovers fully.
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("second probe refused")
+	}
+	b.record(nil)
+	mustState(t, b, "ok")
+}
+
+func TestBreakerSuccessResetsFailureRun(t *testing.T) {
+	b := newBreaker(3, time.Second, newFakeClock().now)
+	boom := errors.New("boom")
+	b.record(boom)
+	b.record(boom)
+	b.record(nil) // run broken
+	b.record(boom)
+	b.record(boom)
+	mustState(t, b, "ok") // 2 consecutive, threshold 3
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := newBreaker(0, 0, nil)
+	if b.threshold != DefaultFailureThreshold || b.cooldown != DefaultCooldown {
+		t.Fatalf("defaults: threshold=%d cooldown=%v", b.threshold, b.cooldown)
+	}
+}

@@ -1,0 +1,428 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/binset"
+	"repro/internal/core"
+	"repro/internal/opq"
+)
+
+const testThreshold = 0.95
+
+// localOPQ is the test stand-in for the service's sharded solver: the
+// plain OPQ solve in run form. Both the distributor under test and the
+// single-node reference use it, so any parity break is the distributor's.
+type localOPQ struct{ calls atomic.Int64 }
+
+func (l *localOPQ) SolveContext(_ context.Context, in *core.Instance) (*core.Plan, error) {
+	l.calls.Add(1)
+	if in.N() == 0 {
+		return &core.Plan{}, nil
+	}
+	q, err := opq.Build(in.Bins(), in.Threshold(0))
+	if err != nil {
+		return nil, err
+	}
+	pr, err := opq.SolveRunsRange(q, 0, in.N())
+	if err != nil {
+		return nil, err
+	}
+	return core.NewRunPlan(pr), nil
+}
+
+func testBlockSize(bins core.BinSet, t float64) (int, error) {
+	q, err := opq.Build(bins, t)
+	if err != nil {
+		return 0, err
+	}
+	return int(q.Elems[0].LCM), nil
+}
+
+func mustBlockSize(t *testing.T) int {
+	t.Helper()
+	l, err := testBlockSize(binset.Table1(), testThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// peerWire mirrors the distributor's remote request for test decoding.
+type peerWire struct {
+	Bins        []core.TaskBin `json:"bins"`
+	N           int            `json:"n"`
+	Threshold   float64        `json:"threshold"`
+	Solver      string         `json:"solver"`
+	IncludePlan bool           `json:"include_plan"`
+}
+
+// newPeer starts a minimal decompose peer: decode, solve with OPQ, reply
+// {n, plan}. intercept (optional) runs first and may write its own
+// response, returning true to skip the solve.
+func newPeer(t *testing.T, intercept func(w http.ResponseWriter, req peerWire, attempt int) bool) *httptest.Server {
+	t.Helper()
+	var attempts atomic.Int64
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req peerWire
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("peer: bad request body: %v", err)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.Solver != "sharded" {
+			t.Errorf("peer: got solver %q, want pinned \"sharded\" (anti-loop)", req.Solver)
+		}
+		if r.URL.Path != "/v1/decompose" {
+			t.Errorf("peer: got path %q", r.URL.Path)
+		}
+		n := int(attempts.Add(1))
+		if intercept != nil && intercept(w, req, n) {
+			return
+		}
+		bins, err := core.NewBinSet(req.Bins)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		in, err := core.NewHomogeneous(bins, req.N, req.Threshold)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		plan, err := (&localOPQ{}).SolveContext(r.Context(), in)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{"n": req.N, "plan": plan.Materialized()})
+	}))
+}
+
+// parity asserts the clustered plan matches the single-node reference
+// byte for byte: same materialized use sequence, bit-identical cost.
+func parity(t *testing.T, in *core.Instance, got *core.Plan) {
+	t.Helper()
+	want, err := (&localOPQ{}).SolveContext(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(in); err != nil {
+		t.Fatalf("clustered plan invalid: %v", err)
+	}
+	gu, wu := got.Materialized(), want.Materialized()
+	if !reflect.DeepEqual(gu, wu) {
+		t.Fatalf("clustered use sequence diverges: %d uses vs %d", len(gu), len(wu))
+	}
+	gs, err := got.Summarize(in.Bins())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := want.Summarize(in.Bins())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.Cost != ws.Cost {
+		t.Fatalf("cost diverges: clustered %v, single-node %v", gs.Cost, ws.Cost)
+	}
+}
+
+func newTestDistributor(t *testing.T, peers []string, mut func(*Config)) (*Distributor, *localOPQ) {
+	t.Helper()
+	local := &localOPQ{}
+	cfg := Config{
+		Self:          "http://self.invalid",
+		Peers:         peers,
+		Timeout:       5 * time.Second,
+		MinSpanBlocks: 1,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	return New(cfg, local, testBlockSize), local
+}
+
+func homogeneous(t *testing.T, n int) *core.Instance {
+	t.Helper()
+	in, err := core.NewHomogeneous(binset.Table1(), n, testThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestDistributorParityAllPeersHealthy(t *testing.T) {
+	p1 := newPeer(t, nil)
+	defer p1.Close()
+	p2 := newPeer(t, nil)
+	defer p2.Close()
+	d, _ := newTestDistributor(t, []string{p1.URL, p2.URL}, nil)
+
+	L := mustBlockSize(t)
+	for _, n := range []int{L * 12, L*9 + 3, L - 1, 1} {
+		in := homogeneous(t, n)
+		plan, err := d.SolveContext(context.Background(), in)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		parity(t, in, plan)
+	}
+	st := d.Stats()
+	if st.SpansRemote == 0 {
+		t.Fatalf("no spans went remote: %+v", st)
+	}
+	if st.Fallbacks != 0 {
+		t.Fatalf("healthy peers produced %d fallbacks", st.Fallbacks)
+	}
+}
+
+func TestDistributorFallbackOnDeadPeer(t *testing.T) {
+	p1 := newPeer(t, nil)
+	defer p1.Close()
+	// An address nothing listens on: every attempt is a transport error.
+	dead := "http://127.0.0.1:1"
+	d, _ := newTestDistributor(t, []string{p1.URL, dead}, func(c *Config) {
+		c.Retries = 1
+		c.FailureThreshold = 2
+		c.Timeout = time.Second
+	})
+
+	L := mustBlockSize(t)
+	in := homogeneous(t, L*12)
+	for i := 0; i < 3; i++ {
+		plan, err := d.SolveContext(context.Background(), in)
+		if err != nil {
+			t.Fatalf("solve %d: %v", i, err)
+		}
+		parity(t, in, plan)
+	}
+	st := d.Stats()
+	var deadStats *PeerStats
+	for i := range st.Peers {
+		if st.Peers[i].URL == dead {
+			deadStats = &st.Peers[i]
+		}
+	}
+	if deadStats == nil {
+		t.Fatalf("dead peer missing from stats: %+v", st)
+	}
+	if deadStats.Fallbacks == 0 {
+		t.Fatalf("dead peer absorbed no fallbacks: %+v", *deadStats)
+	}
+	if deadStats.State != "open" {
+		t.Fatalf("dead peer breaker state %q, want open", deadStats.State)
+	}
+	if deadStats.LastError == "" || deadStats.BreakerOpens == 0 {
+		t.Fatalf("dead peer stats incomplete: %+v", *deadStats)
+	}
+	if !d.Degraded() {
+		t.Fatal("Degraded() false with an open breaker")
+	}
+}
+
+func TestDistributorRetryThenSuccess(t *testing.T) {
+	p := newPeer(t, func(w http.ResponseWriter, _ peerWire, attempt int) bool {
+		if attempt == 1 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return true
+		}
+		return false
+	})
+	defer p.Close()
+	d, _ := newTestDistributor(t, []string{p.URL}, func(c *Config) { c.Retries = 2 })
+
+	L := mustBlockSize(t)
+	in := homogeneous(t, L*4)
+	plan, err := d.SolveContext(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parity(t, in, plan)
+	st := d.Stats()
+	if st.Peers[0].Retries == 0 || st.Peers[0].Failures == 0 {
+		t.Fatalf("retry path not exercised: %+v", st.Peers[0])
+	}
+	if st.Fallbacks != 0 {
+		t.Fatalf("retry success still fell back: %+v", st)
+	}
+}
+
+func TestDistributorRejectsCorruptRemotePlan(t *testing.T) {
+	cases := map[string]func(w http.ResponseWriter, req peerWire){
+		"wrong n": func(w http.ResponseWriter, req peerWire) {
+			_ = json.NewEncoder(w).Encode(map[string]any{"n": req.N + 1, "plan": []core.BinUse{}})
+		},
+		"invalid plan": func(w http.ResponseWriter, req peerWire) {
+			// Feasibly shaped JSON, but the use list doesn't cover the tasks.
+			_ = json.NewEncoder(w).Encode(map[string]any{"n": req.N, "plan": []core.BinUse{
+				{Cardinality: 1, Tasks: []int{0}},
+			}})
+		},
+		"truncated body": func(w http.ResponseWriter, req peerWire) {
+			w.Write([]byte(`{"n":`)) //nolint:errcheck
+		},
+	}
+	L := mustBlockSize(t)
+	for name, corrupt := range cases {
+		t.Run(name, func(t *testing.T) {
+			p := newPeer(t, func(w http.ResponseWriter, req peerWire, _ int) bool {
+				corrupt(w, req)
+				return true
+			})
+			defer p.Close()
+			d, _ := newTestDistributor(t, []string{p.URL}, nil)
+			in := homogeneous(t, L*4)
+			plan, err := d.SolveContext(context.Background(), in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parity(t, in, plan)
+			if st := d.Stats(); st.Fallbacks == 0 || st.Peers[0].Failures == 0 {
+				t.Fatalf("corrupt response not counted: %+v", st)
+			}
+		})
+	}
+}
+
+func TestDistributorLocalPaths(t *testing.T) {
+	p := newPeer(t, func(http.ResponseWriter, peerWire, int) bool {
+		t.Error("peer contacted for a local-only shape")
+		return false
+	})
+	defer p.Close()
+	d, local := newTestDistributor(t, []string{p.URL}, nil)
+
+	// Heterogeneous: local passthrough.
+	ts := make([]float64, 30)
+	for i := range ts {
+		ts[i] = 0.9 + 0.002*float64(i%5)
+	}
+	hin, err := core.NewHeterogeneous(binset.Table1(), ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.SolveContext(context.Background(), hin); err != nil {
+		t.Fatal(err)
+	}
+	// Empty: local passthrough.
+	ein := homogeneous(t, 0)
+	if _, err := d.SolveContext(context.Background(), ein); err != nil {
+		t.Fatal(err)
+	}
+	if local.calls.Load() != 2 {
+		t.Fatalf("local passthrough calls: %d, want 2", local.calls.Load())
+	}
+	// Nil: error.
+	if _, err := d.SolveContext(context.Background(), nil); err == nil {
+		t.Fatal("nil instance accepted")
+	}
+}
+
+func TestDistributorNoPeersSolvesLocally(t *testing.T) {
+	local := &localOPQ{}
+	d := New(Config{}, local, testBlockSize)
+	in := homogeneous(t, 50)
+	plan, err := d.SolveContext(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parity(t, in, plan)
+	if d.PeerCount() != 0 || d.Degraded() {
+		t.Fatalf("peerless distributor: count=%d degraded=%v", d.PeerCount(), d.Degraded())
+	}
+	if d.Name() == "" {
+		t.Fatal("distributor has no name")
+	}
+	if _, err := d.Solve(in); err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+}
+
+func TestSpansBlockAligned(t *testing.T) {
+	d, _ := newTestDistributor(t, []string{"http://a", "http://b"}, func(c *Config) { c.MinSpanBlocks = 2 })
+	for _, tc := range []struct{ n, block, nodes int }{
+		{100, 7, 3}, {100, 7, 1}, {6, 7, 4}, {7, 7, 4}, {56, 7, 4}, {57, 7, 2}, {1000, 12, 5},
+	} {
+		spans := d.spans(tc.n, tc.block, tc.nodes)
+		if len(spans) == 0 || len(spans) > tc.nodes && tc.nodes > 0 {
+			t.Fatalf("%+v: %d spans", tc, len(spans))
+		}
+		pos := 0
+		for i, sp := range spans {
+			if sp.base != pos {
+				t.Fatalf("%+v: span %d base %d, want %d (contiguity)", tc, i, sp.base, pos)
+			}
+			if i < len(spans)-1 {
+				if sp.n%tc.block != 0 {
+					t.Fatalf("%+v: span %d length %d not block-aligned", tc, i, sp.n)
+				}
+				if sp.n/tc.block < 2 {
+					t.Fatalf("%+v: span %d has %d blocks, floor is 2", tc, i, sp.n/tc.block)
+				}
+			}
+			pos += sp.n
+		}
+		if pos != tc.n {
+			t.Fatalf("%+v: spans cover %d of %d tasks", tc, pos, tc.n)
+		}
+	}
+}
+
+func TestUsesToRunsRoundTrip(t *testing.T) {
+	uses := []core.BinUse{
+		{Cardinality: 3, Tasks: []int{0, 1, 2}},
+		{Cardinality: 3, Tasks: []int{3, 4, 5}},
+		{Cardinality: 2, Tasks: []int{6, 7}},
+		{Cardinality: 4, Tasks: []int{8, 9}}, // padded
+		{Cardinality: 1, Tasks: []int{10}},
+	}
+	pr, err := usesToRuns(uses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := core.NewRunPlan(pr).Materialized()
+	if !reflect.DeepEqual(got, uses) {
+		t.Fatalf("round trip diverges:\n got %+v\nwant %+v", got, uses)
+	}
+	// Full-use runs must compact: 2 consecutive card-3 uses are one run.
+	if len(pr.Runs) != 4 {
+		t.Fatalf("got %d runs, want 4 (card-3 pair compacted)", len(pr.Runs))
+	}
+
+	for name, bad := range map[string][]core.BinUse{
+		"empty use":     {{Cardinality: 2, Tasks: nil}},
+		"overfull use":  {{Cardinality: 1, Tasks: []int{0, 1}}},
+		"zero capacity": {{Cardinality: 0, Tasks: nil}},
+	} {
+		if _, err := usesToRuns(bad); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
+func TestPatchN(t *testing.T) {
+	body, err := patchN([]byte(`{"bins":[],"threshold":0.9}`), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		N         int     `json:"n"`
+		Threshold float64 `json:"threshold"`
+	}
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("patched body unparseable: %v (%s)", err, body)
+	}
+	if got.N != 42 || got.Threshold != 0.9 {
+		t.Fatalf("patched body: %+v", got)
+	}
+	if _, err := patchN([]byte(`[]`), 1); err == nil {
+		t.Fatal("non-object prefix accepted")
+	}
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingBasics(t *testing.T) {
+	nodes := []string{"http://a:8080", "http://b:8080", "http://c:8080"}
+	r := NewRing(nodes, 0)
+	if got := len(r.Nodes()); got != 3 {
+		t.Fatalf("nodes: got %d, want 3", got)
+	}
+	// Duplicates and empties are dropped.
+	r2 := NewRing([]string{"x", "", "x", "y"}, 8)
+	if got := len(r2.Nodes()); got != 2 {
+		t.Fatalf("dedup: got %d nodes, want 2", got)
+	}
+	// Ownership is deterministic and a member of the set.
+	for key := uint64(0); key < 1000; key += 97 {
+		o := r.Owner(key)
+		if o != r.Owner(key) {
+			t.Fatalf("owner of %d unstable", key)
+		}
+		found := false
+		for _, n := range nodes {
+			found = found || n == o
+		}
+		if !found {
+			t.Fatalf("owner %q not a member", o)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 0)
+	if r.Owner(42) != "" {
+		t.Fatalf("empty ring owns %q", r.Owner(42))
+	}
+	if r.Sequence(42) != nil {
+		t.Fatalf("empty ring sequence not nil")
+	}
+}
+
+func TestRingSequenceIsOwnerFirstPermutation(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	r := NewRing(nodes, 0)
+	for key := uint64(0); key < 500; key += 41 {
+		seq := r.Sequence(key)
+		if len(seq) != len(nodes) {
+			t.Fatalf("sequence of %d: %d entries, want %d", key, len(seq), len(nodes))
+		}
+		if seq[0] != r.Owner(key) {
+			t.Fatalf("sequence of %d starts with %q, owner is %q", key, seq[0], r.Owner(key))
+		}
+		seen := make(map[string]bool, len(seq))
+		for _, n := range seq {
+			if seen[n] {
+				t.Fatalf("sequence of %d repeats %q", key, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestRingIndependentOfMemberOrder(t *testing.T) {
+	a := NewRing([]string{"n1", "n2", "n3"}, 0)
+	b := NewRing([]string{"n3", "n1", "n2"}, 0)
+	for key := uint64(0); key < 2000; key += 13 {
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %d: owner depends on membership-slice order (%q vs %q)",
+				key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// FuzzConsistentHashRouting pins the ring's three contracts over random
+// memberships and key sets: ownership balance stays within a loose
+// multiple of fair share, Sequence is an owner-first permutation, and
+// removing one node only remaps the keys that node owned (minimal
+// disruption).
+func FuzzConsistentHashRouting(f *testing.F) {
+	f.Add(uint8(3), int64(1), uint64(12345))
+	f.Add(uint8(0), int64(-7), uint64(0))
+	f.Add(uint8(255), int64(1<<40), uint64(1<<63))
+	f.Fuzz(func(t *testing.T, n uint8, seed int64, key uint64) {
+		count := int(n%6) + 2 // 2..7 nodes
+		nodes := make([]string, count)
+		for i := range nodes {
+			// Vary names with the seed so the fuzzer explores many rings,
+			// not one ring per count.
+			nodes[i] = fmt.Sprintf("http://10.%d.%d.%d:8080", uint8(seed), uint8(seed>>8), i)
+		}
+		r := NewRing(nodes, 0)
+
+		// Hash a per-index string rather than folding a counter: early-byte
+		// differences get multiplied through the whole FNV stream, spreading
+		// the keys over the full circle the way real menu digests do.
+		keys := make([]uint64, 512)
+		for i := range keys {
+			keys[i] = fnv64a(fmt.Sprintf("key/%d/%d/%d", key, seed, i))
+		}
+		owners := make(map[uint64]string, len(keys))
+		perNode := make(map[string]int, count)
+		for _, k := range keys {
+			o := r.Owner(k)
+			owners[k] = o
+			perNode[o]++
+		}
+		// Balance: with 64 virtual nodes per member, no member's share of
+		// 512 keys should exceed 3x fair share (+ slack for tiny shares).
+		fair := len(keys) / count
+		for node, got := range perNode {
+			if got > 3*fair+32 {
+				t.Fatalf("%d nodes: %q owns %d of %d keys (fair %d)", count, node, got, len(keys), fair)
+			}
+		}
+
+		seq := r.Sequence(key)
+		if len(seq) != count || seq[0] != r.Owner(key) {
+			t.Fatalf("sequence: len %d (want %d), head %q (owner %q)", len(seq), count, seq[0], r.Owner(key))
+		}
+		seen := make(map[string]bool, count)
+		for _, nd := range seq {
+			if seen[nd] {
+				t.Fatalf("sequence repeats %q", nd)
+			}
+			seen[nd] = true
+		}
+
+		// Minimal disruption: drop the key's owner; every key NOT owned by
+		// the victim must keep its owner in the shrunken ring.
+		victim := r.Owner(key)
+		rest := make([]string, 0, count-1)
+		for _, nd := range nodes {
+			if nd != victim {
+				rest = append(rest, nd)
+			}
+		}
+		shrunk := NewRing(rest, 0)
+		for _, k := range keys {
+			if owners[k] == victim {
+				continue
+			}
+			if got := shrunk.Owner(k); got != owners[k] {
+				t.Fatalf("removing %q remapped key %d from %q to %q", victim, k, owners[k], got)
+			}
+		}
+	})
+}

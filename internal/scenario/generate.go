@@ -80,6 +80,28 @@ func (c Cell) workload(menu core.BinSet, cellSeed int64) ([]request, error) {
 	return reqs, nil
 }
 
+// Instances generates the cell's decompose workload — each request's
+// instance, in arrival order — without the platform-seed plumbing the
+// full lab runner adds. External harnesses (the cluster chaos test,
+// sladebench) use it to replay the exact scenario traffic through an
+// alternative serving stack: the same cellSeed yields the same instances
+// the lab would solve.
+func (c Cell) Instances(cellSeed int64) ([]*core.Instance, error) {
+	menu, err := c.Menu.Build()
+	if err != nil {
+		return nil, fmt.Errorf("scenario: cell %q: %w", c.Name(), err)
+	}
+	reqs, err := c.workload(menu, cellSeed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*core.Instance, len(reqs))
+	for i := range reqs {
+		out[i] = reqs[i].in
+	}
+	return out, nil
+}
+
 // sizes draws the request-size mix of the cell's arrival pattern.
 func (c Cell) sizes(rng *rand.Rand) []int {
 	out := make([]int, c.Requests)

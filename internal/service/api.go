@@ -167,7 +167,7 @@ func handleDecompose(s *Service, w http.ResponseWriter, r *http.Request) {
 	}
 	name := req.Solver
 	if name == "" {
-		name = DefaultSolverName
+		name = s.DefaultSolver()
 	}
 	start := time.Now()
 	plan, sum, err := s.DecomposeSummarized(r.Context(), name, in)
@@ -296,7 +296,7 @@ func handleDecomposeBatch(s *Service, w http.ResponseWriter, r *http.Request) {
 	}
 	name := req.Solver
 	if name == "" {
-		name = DefaultSolverName
+		name = s.DefaultSolver()
 	}
 	start := time.Now()
 	// Solve concurrently so the request batcher (when enabled) coalesces

@@ -469,7 +469,7 @@ func (m *JobManager) Submit(req JobRequest) (string, error) {
 	// Solve and run jobs plan with a registered solver; resolve it once.
 	if req.Instance != nil || req.Run != nil {
 		if solver == "" {
-			solver = DefaultSolverName
+			solver = m.svc.DefaultSolver()
 		}
 		if _, err := m.svc.solver(solver); err != nil {
 			return "", err

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log"
 	"log/slog"
+	"net/http"
 	"runtime"
 	"sort"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/greedy"
 	"repro/internal/hetero"
@@ -23,6 +25,10 @@ import (
 // DefaultSolverName selects the cached, sharded OPQ path — the service's
 // recommended solver for every instance shape.
 const DefaultSolverName = "sharded"
+
+// ClusterSolverName selects the clustered distributor — registered (and
+// made the default route) only on a service configured with Peers.
+const ClusterSolverName = "cluster"
 
 // Config parameterizes a Service.
 type Config struct {
@@ -76,6 +82,35 @@ type Config struct {
 	// streams, keeping idle connections alive through proxies; <= 0 selects
 	// DefaultSSEHeartbeat (15s).
 	SSEHeartbeat time.Duration
+	// Peers lists the other sladed nodes' base URLs. Non-empty enables the
+	// clustered distributor: homogeneous solves split into block-aligned
+	// spans fanned out across the peer ring (merged output stays byte-
+	// identical to a single-node solve), "cluster" becomes the default
+	// solver route, and /v1/stats and /v1/healthz grow cluster blocks.
+	Peers []string
+	// ClusterSelf is this node's own advertised URL — its identity on the
+	// consistent-hash ring. Every node in the cluster must use the same
+	// URL for a given node. Empty selects the opaque name "local", which
+	// is only safe when peers don't list this node back.
+	ClusterSelf string
+	// ClusterTimeout bounds one remote span solve attempt; <= 0 selects
+	// cluster.DefaultTimeout.
+	ClusterTimeout time.Duration
+	// PeerRetries is how many times a failed span is re-sent to its peer
+	// before falling back to a local solve; 0 means one attempt.
+	PeerRetries int
+	// ClusterTransport overrides the peer HTTP transport — the fault-
+	// injection seam in tests; nil selects http.DefaultTransport.
+	ClusterTransport http.RoundTripper
+	// ClusterMinSpanBlocks is the minimum full OPQ1 blocks per distributed
+	// span; <= 0 selects cluster.DefaultMinSpanBlocks.
+	ClusterMinSpanBlocks int
+	// ClusterFailureThreshold consecutive peer failures open that peer's
+	// circuit breaker; <= 0 selects cluster.DefaultFailureThreshold.
+	ClusterFailureThreshold int
+	// ClusterCooldown is the open-breaker shut-out before a probe; <= 0
+	// selects cluster.DefaultCooldown.
+	ClusterCooldown time.Duration
 }
 
 // ErrNoStore tags operations that need a durable store on a service
@@ -93,6 +128,9 @@ var errSummarize = errors.New("service: summarizing solved plan")
 type Service struct {
 	cache   *OPQCache
 	sharded *ShardedSolver
+	// cluster is the peer-fan-out distributor; nil on a single-node
+	// service (no Peers configured).
+	cluster *cluster.Distributor
 	jobs    *JobManager
 	store   store.Store
 	slog    *slog.Logger
@@ -180,7 +218,40 @@ func New(cfg Config) *Service {
 	s.mustRegister("opq", opq.Solver{})
 	s.mustRegister("opq-extended", hetero.Solver{})
 	s.mustRegister("baseline", baseline.Solver{Seed: 1})
+	if len(cfg.Peers) > 0 {
+		s.cluster = cluster.New(cluster.Config{
+			Self:             cfg.ClusterSelf,
+			Peers:            cfg.Peers,
+			Timeout:          cfg.ClusterTimeout,
+			Retries:          cfg.PeerRetries,
+			MinSpanBlocks:    cfg.ClusterMinSpanBlocks,
+			FailureThreshold: cfg.ClusterFailureThreshold,
+			Cooldown:         cfg.ClusterCooldown,
+			Transport:        cfg.ClusterTransport,
+			Registry:         s.metrics.reg,
+		}, s.sharded, s.blockSize)
+		s.mustRegister(ClusterSolverName, s.cluster)
+	}
 	return s
+}
+
+// blockSize resolves the menu's optimal block size LCM₁ through the
+// shared queue cache — the alignment unit the distributor cuts spans on.
+func (s *Service) blockSize(bins core.BinSet, t float64) (int, error) {
+	q, err := s.cache.Get(bins, t)
+	if err != nil {
+		return 0, err
+	}
+	return int(q.Elems[0].LCM), nil
+}
+
+// DefaultSolver returns the routing key unnamed requests resolve to:
+// "cluster" on a peer-configured service, DefaultSolverName otherwise.
+func (s *Service) DefaultSolver() string {
+	if s.cluster != nil {
+		return ClusterSolverName
+	}
+	return DefaultSolverName
 }
 
 // Close stops the service's background work (the result-TTL janitor).
@@ -302,10 +373,11 @@ func (s *Service) solverNamesLocked() []string {
 	return names
 }
 
-// Decompose solves the instance on the default cached + sharded path.
-// Safe for concurrent use.
+// Decompose solves the instance on the default path: the cached + sharded
+// solver, distributed across the peer ring on a clustered service. Safe
+// for concurrent use.
 func (s *Service) Decompose(ctx context.Context, in *core.Instance) (*core.Plan, error) {
-	return s.DecomposeWith(ctx, DefaultSolverName, in)
+	return s.DecomposeWith(ctx, s.DefaultSolver(), in)
 }
 
 // DecomposeWith solves the instance with the named solver, recording
@@ -468,6 +540,9 @@ type Stats struct {
 	Streams StreamStats `json:"streams"`
 	// Persistence reports the durable state layer's status.
 	Persistence PersistenceStats `json:"persistence"`
+	// Cluster reports per-peer distribution counters and breaker states;
+	// omitted on a single-node service.
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 	// Solvers lists the registered solver names.
 	Solvers []string `json:"solvers"`
 	// Workers is the shard pool size.
@@ -513,6 +588,10 @@ func (s *Service) Stats() Stats {
 	if s.batcher != nil {
 		st.Batch = s.batcher.stats()
 	}
+	if s.cluster != nil {
+		cs := s.cluster.Stats()
+		st.Cluster = &cs
+	}
 	return st
 }
 
@@ -536,6 +615,31 @@ type Health struct {
 	Revision  string `json:"revision,omitempty"`
 	// Persistence reports the durable store's availability.
 	Persistence HealthPersistence `json:"persistence"`
+	// Cluster reports peer reachability; omitted on a single-node service.
+	// Degraded peers do NOT fail the health check (local fallback keeps
+	// every request serviceable) — they flip Cluster.Degraded so operators
+	// and load balancers can see reduced capacity without losing the node.
+	Cluster *HealthCluster `json:"cluster,omitempty"`
+}
+
+// HealthCluster is the cluster block of a health report.
+type HealthCluster struct {
+	// Self is this node's ring identity.
+	Self string `json:"self"`
+	// Degraded reports whether any peer's breaker is not "ok".
+	Degraded bool `json:"degraded"`
+	// Peers lists each peer's breaker state, sorted by URL.
+	Peers []HealthPeer `json:"peers"`
+}
+
+// HealthPeer is one peer's reachability in a health report.
+type HealthPeer struct {
+	URL string `json:"url"`
+	// State is "ok", "open" (shut out after consecutive failures), or
+	// "probing" (cooldown elapsed, one trial request in flight).
+	State string `json:"state"`
+	// Error is the most recent failure, while not "ok".
+	Error string `json:"error,omitempty"`
 }
 
 // HealthPersistence is the store block of a health report.
@@ -569,6 +673,17 @@ func (s *Service) Health() Health {
 			h.Persistence.Writable = false
 			h.Persistence.Error = err.Error()
 		}
+	}
+	if s.cluster != nil {
+		cs := s.cluster.Stats()
+		hc := &HealthCluster{Self: cs.Self, Peers: make([]HealthPeer, 0, len(cs.Peers))}
+		for _, p := range cs.Peers {
+			if p.State != "ok" {
+				hc.Degraded = true
+			}
+			hc.Peers = append(hc.Peers, HealthPeer{URL: p.URL, State: p.State, Error: p.LastError})
+		}
+		h.Cluster = hc
 	}
 	return h
 }

@@ -74,6 +74,40 @@ func (b *breaker) allow() bool {
 	}
 }
 
+// healthy reports whether the peer is currently eligible for traffic
+// WITHOUT consuming the open→half-open probe admission: closed counts,
+// as does open with its cooldown elapsed (the next dispatch may probe).
+// Half-open does not — a probe is already in flight, and routing more
+// spans at the peer would only bounce off allow. Routing decisions use
+// this; only the dispatch path calls allow, so a probe admission is
+// always followed by a real request that settles it via record.
+func (b *breaker) healthy() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		return b.now().Sub(b.openedAt) >= b.cooldown
+	default: // half-open
+		return false
+	}
+}
+
+// release settles a probe admission whose attempt produced no peer-health
+// signal (the caller's context was canceled mid-flight): half-open
+// reverts to open with its original openedAt — the cooldown has already
+// elapsed, so the next real dispatch re-probes immediately. Closed and
+// open breakers are left untouched; nothing is charged to the failure
+// run.
+func (b *breaker) release() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.state = breakerOpen
+	}
+}
+
 // record settles one attempt's outcome. Any success closes the breaker
 // and clears the failure run; a failure while half-open (the probe
 // failed) or the threshold-th consecutive failure re-opens it.

@@ -98,6 +98,64 @@ func TestBreakerSuccessResetsFailureRun(t *testing.T) {
 	mustState(t, b, "ok") // 2 consecutive, threshold 3
 }
 
+func TestBreakerHealthyDoesNotConsumeProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(1, time.Second, clk.now)
+	if !b.healthy() {
+		t.Fatal("closed breaker reported unhealthy")
+	}
+	b.record(errors.New("x"))
+	if b.healthy() {
+		t.Fatal("open breaker mid-cooldown reported healthy")
+	}
+	clk.advance(time.Second)
+	// Probe-eligible: healthy may be asked any number of times without
+	// transitioning the state or consuming the probe admission.
+	for i := 0; i < 5; i++ {
+		if !b.healthy() {
+			t.Fatalf("probe-eligible breaker reported unhealthy (ask %d)", i)
+		}
+		mustState(t, b, "open")
+	}
+	if !b.allow() {
+		t.Fatal("probe refused after healthy checks — a check consumed it")
+	}
+	mustState(t, b, "probing")
+	if b.healthy() {
+		t.Fatal("half-open breaker reported healthy (probe already out)")
+	}
+}
+
+func TestBreakerReleaseRevertsProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(1, time.Second, clk.now)
+	b.record(errors.New("x"))
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("probe refused")
+	}
+	mustState(t, b, "probing")
+	// The probe's attempt was canceled by the caller: release must return
+	// the breaker to open with the cooldown still spent, so the next real
+	// dispatch re-probes immediately instead of latching half-open.
+	b.release()
+	mustState(t, b, "open")
+	if _, failures, opens, _ := b.snapshot(); failures != 1 || opens != 1 {
+		t.Fatalf("release charged the breaker: failures=%d opens=%d", failures, opens)
+	}
+	if !b.allow() {
+		t.Fatal("released breaker refused the re-probe")
+	}
+	b.record(nil)
+	mustState(t, b, "ok")
+	// On a closed breaker, release is a no-op.
+	b.release()
+	mustState(t, b, "ok")
+	if !b.allow() {
+		t.Fatal("release broke a closed breaker")
+	}
+}
+
 func TestBreakerDefaults(t *testing.T) {
 	b := newBreaker(0, 0, nil)
 	if b.threshold != DefaultFailureThreshold || b.cooldown != DefaultCooldown {

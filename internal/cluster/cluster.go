@@ -129,6 +129,11 @@ func New(cfg Config, local LocalSolver, blockSize BlockSizeFunc) *Distributor {
 	if local == nil || blockSize == nil {
 		panic("cluster: New requires a local solver and a block-size source")
 	}
+	// Normalize Self exactly like the peer URLs below, or an advertised
+	// "http://a:8080/" fails the dedup check against a peer entry
+	// "http://a:8080" and the node joins the ring twice — once as itself,
+	// once as an HTTP peer it ships spans to.
+	cfg.Self = strings.TrimRight(strings.TrimSpace(cfg.Self), "/")
 	if cfg.Self == "" {
 		cfg.Self = "local"
 	}
@@ -302,12 +307,17 @@ func (d *Distributor) spans(n, blockSize, nodeCount int) []span {
 
 // healthySequence returns the ring walk from the digest restricted to
 // nodes currently accepting traffic. Self is always included (local solve
-// cannot be circuit-broken), so the result is never empty.
+// cannot be circuit-broken), so the result is never empty. The check is
+// deliberately non-mutating: the open→half-open probe admission happens
+// in solveSpan at dispatch time, so a peer listed here but ultimately
+// assigned no span never has a probe consumed on its behalf (which would
+// latch the breaker half-open forever, since only a real attempt settles
+// it).
 func (d *Distributor) healthySequence(digest uint64) []string {
 	seq := d.ring.Sequence(digest)
 	out := seq[:0]
 	for _, node := range seq {
-		if node == d.self || d.peers[node].breaker.allow() {
+		if node == d.self || d.peers[node].breaker.healthy() {
 			out = append(out, node)
 		}
 	}
@@ -323,7 +333,21 @@ func (d *Distributor) healthySequence(digest uint64) []string {
 func (d *Distributor) solveSpan(ctx context.Context, in *core.Instance, sp span, node string, body []byte) (*core.PlanRuns, error) {
 	if node != d.self {
 		p := d.peers[node]
-		for attempt := 0; attempt <= d.cfg.Retries && ctx.Err() == nil; attempt++ {
+		for attempt := 0; attempt <= d.cfg.Retries; attempt++ {
+			if ctx.Err() != nil {
+				// The caller hung up; that's not peer health, so it feeds
+				// neither the breaker nor the fallback counters.
+				return nil, ctx.Err()
+			}
+			// Consult the breaker per attempt, at dispatch time: this is
+			// where an open breaker whose cooldown elapsed admits its single
+			// probe (always settled, because a dispatch follows), and it
+			// stops retries from hammering a peer whose breaker opened
+			// mid-span — whether from this span's own failed probe or from
+			// concurrent spans' failures.
+			if !p.breaker.allow() {
+				break
+			}
 			if attempt > 0 {
 				p.retries.Inc()
 			}
@@ -332,10 +356,8 @@ func (d *Distributor) solveSpan(ctx context.Context, in *core.Instance, sp span,
 				d.spansRemote.Add(1)
 				return pr, nil
 			}
-			// A canceled parent context is the caller's signal, not peer
-			// health; don't charge it to the breaker.
 			if ctx.Err() != nil {
-				break
+				return nil, ctx.Err()
 			}
 		}
 		p.fallbacks.Inc()
@@ -387,6 +409,15 @@ type remoteResponse struct {
 func (d *Distributor) solveRemote(ctx context.Context, p *peer, in *core.Instance, sp span, body []byte) (pr *core.PlanRuns, err error) {
 	p.requests.Inc()
 	defer func() {
+		// A canceled parent context is the caller's signal, not peer
+		// health: release the probe slot (if this attempt held one) rather
+		// than recording a failure the peer didn't cause. The per-attempt
+		// timeout (attemptCtx expiring with the parent still live) IS peer
+		// health and takes the record path.
+		if err != nil && ctx.Err() != nil {
+			p.breaker.release()
+			return
+		}
 		p.breaker.record(err)
 		if err != nil {
 			p.failures.Inc()

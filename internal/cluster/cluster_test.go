@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -288,6 +289,131 @@ func TestDistributorRejectsCorruptRemotePlan(t *testing.T) {
 				t.Fatalf("corrupt response not counted: %+v", st)
 			}
 		})
+	}
+}
+
+// TestSmallRequestDoesNotLatchCooledPeer is the regression pin for the
+// half-open latch-up: routing a request that ships the peer zero spans
+// (here, the whole-instance local fast path) must not consume the
+// cooled-down breaker's probe admission, or the probe never settles and
+// the peer is excluded until restart.
+func TestSmallRequestDoesNotLatchCooledPeer(t *testing.T) {
+	dead := "http://127.0.0.1:1"
+	digest := opq.FingerprintDigest(binset.Table1(), testThreshold)
+	// Pick a self identity that owns the menu digest, so a single-span
+	// request takes the whole-instance local fast path and the dead peer
+	// is routed nothing.
+	self := ""
+	for i := 0; i < 1000 && self == ""; i++ {
+		cand := fmt.Sprintf("http://self-%d.invalid", i)
+		if NewRing([]string{cand, dead}, 0).Sequence(digest)[0] == cand {
+			self = cand
+		}
+	}
+	if self == "" {
+		t.Fatal("no candidate self owns the digest")
+	}
+	clk := newFakeClock()
+	d, _ := newTestDistributor(t, []string{dead}, func(c *Config) {
+		c.Self = self
+		c.FailureThreshold = 1
+		c.Cooldown = time.Second
+		c.Timeout = time.Second
+		c.Clock = clk.now
+	})
+
+	// Open the dead peer's breaker with a fan-out wide enough to route it
+	// a span.
+	L := mustBlockSize(t)
+	big := homogeneous(t, L*8)
+	if _, err := d.SolveContext(context.Background(), big); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.Peers[0].State != "open" {
+		t.Fatalf("dead peer breaker %q, want open", st.Peers[0].State)
+	}
+
+	// Cooldown elapses; span-less traffic must leave the probe unconsumed.
+	clk.advance(2 * time.Second)
+	small := homogeneous(t, 1)
+	for i := 0; i < 3; i++ {
+		if _, err := d.SolveContext(context.Background(), small); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.Stats()
+	if st.Peers[0].State == "probing" {
+		t.Fatal("span-less request latched the peer half-open")
+	}
+	// The next real fan-out must still probe the peer.
+	before := st.Peers[0].Requests
+	if _, err := d.SolveContext(context.Background(), big); err != nil {
+		t.Fatal(err)
+	}
+	if after := d.Stats().Peers[0].Requests; after == before {
+		t.Fatal("cooled-down peer was never re-probed")
+	}
+}
+
+// TestRetryLoopRespectsBreakerOpen pins that a span's retry budget stops
+// as soon as the peer's breaker opens: the half-open probe is a single
+// attempt, not Retries+1 of them.
+func TestRetryLoopRespectsBreakerOpen(t *testing.T) {
+	p := newPeer(t, func(w http.ResponseWriter, _ peerWire, _ int) bool {
+		http.Error(w, "boom", http.StatusInternalServerError)
+		return true
+	})
+	defer p.Close()
+	d, _ := newTestDistributor(t, []string{p.URL}, func(c *Config) {
+		c.Retries = 3
+		c.FailureThreshold = 1
+	})
+	in := homogeneous(t, mustBlockSize(t)*4)
+	plan, err := d.SolveContext(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parity(t, in, plan)
+	st := d.Stats()
+	if st.Peers[0].Requests != 1 {
+		t.Fatalf("peer got %d attempts; its breaker opened after 1 and retries must stop", st.Peers[0].Requests)
+	}
+	if st.Peers[0].Fallbacks != 1 {
+		t.Fatalf("fallbacks = %d, want 1", st.Peers[0].Fallbacks)
+	}
+}
+
+func TestCanceledContextNotChargedToPeer(t *testing.T) {
+	p := newPeer(t, nil)
+	defer p.Close()
+	d, _ := newTestDistributor(t, []string{p.URL}, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := homogeneous(t, mustBlockSize(t)*4)
+	if _, err := d.SolveContext(ctx, in); err == nil {
+		t.Fatal("canceled solve succeeded")
+	}
+	st := d.Stats()
+	if st.Fallbacks != 0 || st.Peers[0].Fallbacks != 0 {
+		t.Fatalf("cancellation counted as peer fallback: %+v", st)
+	}
+	if st.Peers[0].State != "ok" || st.Peers[0].Failures != 0 {
+		t.Fatalf("cancellation charged to peer health: %+v", st.Peers[0])
+	}
+}
+
+func TestSelfURLNormalized(t *testing.T) {
+	d, _ := newTestDistributor(t, []string{"http://a:8080", " http://b:8080/ "}, func(c *Config) {
+		c.Self = "http://a:8080/"
+	})
+	if d.self != "http://a:8080" {
+		t.Fatalf("self not normalized: %q", d.self)
+	}
+	if d.PeerCount() != 1 {
+		t.Fatalf("peer count %d, want 1 (self must dedup against its own peer entry)", d.PeerCount())
+	}
+	if _, ok := d.peers["http://b:8080"]; !ok {
+		t.Fatalf("peer b missing or unnormalized: %v", d.order)
 	}
 }
 

@@ -68,8 +68,17 @@ func main() {
 	metrics := flag.Bool("metrics", false, "smoke-test the /metrics exposition: drive every route, scrape, and lint")
 	clusterSmoke := flag.Bool("cluster", false, "smoke-test the multi-node cluster: 3-node fan-out, peer kill, cost parity")
 	clusterJSON := flag.String("cluster-json", "", "with -cluster, also write the measurements as JSON to this path")
+	platformSmoke := flag.Bool("platform", false, "smoke-test the remote bin marketplace: chaos spend parity, mid-run death degradation")
+	platformJSON := flag.String("platform-json", "", "with -platform, also write the measurements as JSON to this path")
 	flag.Parse()
 
+	if *platformSmoke {
+		if err := runPlatformSmoke(os.Stdout, *platformJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "sladebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *clusterSmoke {
 		if err := runClusterSmoke(os.Stdout, *clusterJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "sladebench:", err)

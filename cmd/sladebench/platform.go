@@ -1,0 +1,243 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"time"
+
+	"repro/internal/binset"
+	"repro/internal/core"
+	"repro/internal/executor"
+	"repro/internal/opq"
+	"repro/internal/platform"
+	"repro/internal/platform/testplatform"
+	"repro/internal/service"
+)
+
+// platformBench is the machine-readable outcome of the remote-platform
+// smoke, written as JSON when -platform-json is set.
+type platformBench struct {
+	// Chaos phase: one run executed against a clean marketplace and again
+	// against the same seed with ~25% of traffic faulted. Parity fields
+	// are asserted before the file is written, so a written file is
+	// itself evidence the invariants held.
+	Tasks      int     `json:"tasks"`
+	BinsIssued int     `json:"bins_issued"`
+	Spent      float64 `json:"spent"`
+	// Charged is the faulty marketplace's ledger; equal to Spent or the
+	// smoke fails (zero double-paid bins under faults).
+	Charged  float64 `json:"charged"`
+	Requests uint64  `json:"requests"`
+	Replays  uint64  `json:"replays"`
+	ChaosMS  float64 `json:"chaos_ms"`
+	// Degradation phase: the marketplace dies mid-run under a daemon-wide
+	// client; the run settles with a partial degraded report and the
+	// health probe keeps answering 200.
+	DegradedBins  int     `json:"degraded_bins"`
+	DegradedSpent float64 `json:"degraded_spent"`
+}
+
+// runPlatformSmoke drives the remote bin marketplace end to end: a chaos
+// phase (faulted marketplace, exact spend parity and byte-identical
+// reports against the fault-free run) and a degradation phase (the
+// marketplace dies mid-run; the job finishes with a partial report and
+// /v1/healthz stays 200). The one-command check that remote execution on
+// this machine changes transport, not answers — and degrades, not dies.
+func runPlatformSmoke(w io.Writer, jsonPath string) error {
+	const seed, tasks = 7, 800
+	menu := binset.MustJelly(20)
+	in, err := core.NewHomogeneous(menu, tasks, 0.95)
+	if err != nil {
+		return err
+	}
+	plan, err := (opq.Solver{}).Solve(in)
+	if err != nil {
+		return err
+	}
+	truth := make([]bool, tasks)
+	for i := range truth {
+		truth[i] = i%3 == 0
+	}
+	opts := executor.Options{RunID: "platform-smoke", TopUp: true}
+	// A breaker that effectively never opens and a deep retry budget: the
+	// chaos phase measures reconciliation, not refusal.
+	client := func(url string) (*platform.Client, error) {
+		return platform.NewClient(platform.Config{
+			BaseURL:          url,
+			Timeout:          5 * time.Second,
+			RetryBudget:      100000,
+			FailureThreshold: 1000,
+			BackoffBase:      time.Millisecond,
+			BackoffCap:       4 * time.Millisecond,
+			JitterSeed:       42,
+		})
+	}
+
+	fmt.Fprintf(w, "platform smoke test: %d tasks, seed %d\n", tasks, seed)
+
+	clean, err := testplatform.New(testplatform.Options{Seed: seed})
+	if err != nil {
+		return err
+	}
+	defer clean.Close()
+	cc, err := client(clean.URL())
+	if err != nil {
+		return err
+	}
+	cleanRep, err := executor.ExecuteContext(context.Background(), cc.Runner(), in, plan, truth, opts)
+	if err != nil {
+		return err
+	}
+	if cleanRep.Degraded {
+		return fmt.Errorf("fault-free run degraded: %s", cleanRep.LastError)
+	}
+
+	faulty, err := testplatform.New(testplatform.Options{
+		Seed: seed,
+		Faults: testplatform.FaultSchedule{
+			DelayProb:    0.05,
+			Delay:        time.Millisecond,
+			FailProb:     0.08,
+			TruncateProb: 0.06,
+			DropProb:     0.06,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer faulty.Close()
+	fc, err := client(faulty.URL())
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	faultyRep, err := executor.ExecuteContext(context.Background(), fc.Runner(), in, plan, truth, opts)
+	if err != nil {
+		return err
+	}
+	chaos := time.Since(start)
+	if faultyRep.Degraded {
+		return fmt.Errorf("chaos run degraded: %s", faultyRep.LastError)
+	}
+	if !reflect.DeepEqual(cleanRep, faultyRep) {
+		return fmt.Errorf("chaos run diverged from the fault-free run:\nclean:  %+v\nfaulty: %+v", cleanRep, faultyRep)
+	}
+	if got := faulty.Charged(); got != faultyRep.Spent {
+		return fmt.Errorf("double-pay: marketplace charged %v, report spent %v", got, faultyRep.Spent)
+	}
+	if faulty.Replays() == 0 {
+		return fmt.Errorf("fault schedule produced no idempotent replays; the smoke is not exercising reconciliation")
+	}
+	fmt.Fprintf(w, "  chaos parity: %d bins, spent %.4f == charged %.4f, %d requests (%d replays) in %v\n",
+		faultyRep.BinsIssued, faultyRep.Spent, faulty.Charged(), faulty.Requests(), faulty.Replays(), chaos.Round(time.Millisecond))
+
+	bench := platformBench{
+		Tasks:      tasks,
+		BinsIssued: faultyRep.BinsIssued,
+		Spent:      faultyRep.Spent,
+		Charged:    faulty.Charged(),
+		Requests:   faulty.Requests(),
+		Replays:    faulty.Replays(),
+		ChaosMS:    float64(chaos) / float64(time.Millisecond),
+	}
+
+	if err := platformDegradeSmoke(w, &bench); err != nil {
+		return err
+	}
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  wrote %s\n", jsonPath)
+	}
+	fmt.Fprintln(w, "platform smoke test PASSED")
+	return nil
+}
+
+// platformDegradeSmoke kills the marketplace mid-run under a daemon-wide
+// client and asserts clean degradation: the job settles Done with a
+// partial degraded report, every committed bin is paid exactly once, and
+// the readiness probe answers 200 with the platform block degraded.
+func platformDegradeSmoke(w io.Writer, bench *platformBench) error {
+	tp, err := testplatform.New(testplatform.Options{Seed: 11})
+	if err != nil {
+		return err
+	}
+	defer tp.Close()
+	svc := service.New(service.Config{Workers: 2, Logger: log.New(io.Discard, "", 0),
+		PlatformURL: tp.URL(), PlatformRetries: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(service.NewHandler(svc))
+	defer ts.Close()
+
+	const killAfter = 5
+	tp.KillAfter(killAfter)
+	menu := binset.MustJelly(20)
+	in, err := core.NewHomogeneous(menu, 200, 0.9)
+	if err != nil {
+		return err
+	}
+	id, err := svc.Jobs().Submit(service.JobRequest{Run: &service.RunJob{
+		Instance: in,
+		Platform: service.PlatformSpec{Kind: "remote"},
+		Options:  executor.Options{TopUp: true},
+	}})
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	var st service.JobStatus
+	for {
+		if st, err = svc.Jobs().Status(id); err != nil {
+			return err
+		}
+		if st.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("degradation run stuck in %s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.State != service.JobDone || st.Report == nil || !st.Report.Degraded {
+		return fmt.Errorf("want a Done job with a degraded report after marketplace death, got %s (report %+v)", st.State, st.Report)
+	}
+	if st.Report.BinsIssued != killAfter {
+		return fmt.Errorf("degraded run issued %d bins, want %d (the marketplace served exactly that many)", st.Report.BinsIssued, killAfter)
+	}
+	if got := tp.Charged(); got != st.Report.Spent {
+		return fmt.Errorf("degraded double-pay: charged %v, spent %v", got, st.Report.Spent)
+	}
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var h service.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz %d with the marketplace down, want degraded-but-200", resp.StatusCode)
+	}
+	if h.Platform == nil || !h.Platform.Degraded {
+		return fmt.Errorf("healthz platform block not degraded: %+v", h.Platform)
+	}
+	bench.DegradedBins = st.Report.BinsIssued
+	bench.DegradedSpent = st.Report.Spent
+	fmt.Fprintf(w, "  degradation: marketplace died after %d bins; run settled degraded (spent %.4f, paid once), healthz 200\n",
+		killAfter, st.Report.Spent)
+	return nil
+}

@@ -25,6 +25,19 @@
 //	                              # clustered: fan shards out to peers b and c
 //	sladed -cluster-timeout 10s   # per-attempt remote span solve deadline
 //	sladed -peer-retries 1        # re-send a failed span once before local fallback
+//	sladed -platform-url http://market:9000 -platform-auth "Bearer t"
+//	                              # remote marketplace for "platform_kind":"remote" runs
+//	sladed -platform-timeout 10s -platform-retries 64 -platform-rps 50
+//	                              # per-attempt deadline, per-job retry budget, rate cap
+//
+// With -platform-url set, run jobs may name "platform_kind":"remote" to
+// issue bins over HTTP against a crowd marketplace instead of in-process
+// crowdsim. Issues are idempotent (keyed by job, bin and attempt epoch),
+// retried with jittered backoff under a per-job budget, rate-limited, and
+// circuit-broken; a marketplace outage degrades the run to a partial
+// report ("degraded": true) instead of failing it, /v1/stats grows a
+// "platform" block, and /v1/healthz reports marketplace reachability
+// without ever failing the probe.
 //
 // With -peers set, homogeneous solves are split into block-aligned spans
 // and fanned out across the peer ring (consistent hash of the menu
@@ -92,6 +105,11 @@ func main() {
 	advertise := flag.String("advertise", "", "this node's own base URL on the cluster ring (required with -peers when peers list this node back)")
 	clusterTimeout := flag.Duration("cluster-timeout", 0, "per-attempt deadline for one remote span solve (0 = 10s default)")
 	peerRetries := flag.Int("peer-retries", 1, "re-send a failed span to its peer this many times before local fallback")
+	platformURL := flag.String("platform-url", "", "remote crowd-marketplace base URL; non-empty lets run jobs execute with \"platform_kind\":\"remote\"")
+	platformAuth := flag.String("platform-auth", "", "Authorization header sent verbatim on every marketplace request")
+	platformTimeout := flag.Duration("platform-timeout", 0, "per-attempt deadline for one remote bin issue (0 = 10s default)")
+	platformRetries := flag.Int("platform-retries", 0, "per-job wire-retry budget for marketplace calls (0 = 64 default, -1 = no retries)")
+	platformRPS := flag.Float64("platform-rps", 0, "marketplace issue-rate cap in requests/second (0 = unlimited)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -111,6 +129,11 @@ func main() {
 			ClusterSelf:      *advertise,
 			ClusterTimeout:   *clusterTimeout,
 			PeerRetries:      *peerRetries,
+			PlatformURL:      *platformURL,
+			PlatformAuth:     *platformAuth,
+			PlatformTimeout:  *platformTimeout,
+			PlatformRetries:  *platformRetries,
+			PlatformRPS:      *platformRPS,
 		},
 		dataDir:          *dataDir,
 		snapshotInterval: *snapInterval,
@@ -163,6 +186,12 @@ func run(ctx context.Context, addr string, cfg daemonConfig, logger *log.Logger)
 func serve(ctx context.Context, ln net.Listener, cfg daemonConfig, logger *log.Logger) error {
 	svcCfg := cfg.service
 	svcCfg.Logger = logger
+	// Catch a typo'd -platform-url here with a flag-shaped error; the
+	// service constructor treats an invalid URL as a programming error.
+	if u := svcCfg.PlatformURL; u != "" &&
+		!strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+		return fmt.Errorf("-platform-url %q is not an http(s) URL", u)
+	}
 	if cfg.dataDir != "" {
 		st, err := slade.OpenFSStore(cfg.dataDir, logger)
 		if err != nil {

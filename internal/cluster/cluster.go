@@ -16,6 +16,16 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/opq"
+	"repro/internal/resilience"
+)
+
+// DefaultFailureThreshold and DefaultCooldown are the per-peer breaker
+// defaults. The breaker itself lives in internal/resilience (it is shared
+// with the remote-platform client); these aliases keep the cluster's
+// config surface self-describing.
+const (
+	DefaultFailureThreshold = resilience.DefaultFailureThreshold
+	DefaultCooldown         = resilience.DefaultCooldown
 )
 
 // DefaultTimeout bounds one remote solve attempt when Config.Timeout is
@@ -87,7 +97,7 @@ type Config struct {
 // peer is one remote node: its address, health gate, and instruments.
 type peer struct {
 	url     string
-	breaker *breaker
+	breaker *resilience.Breaker
 
 	requests  *obs.Counter // HTTP solve attempts sent
 	failures  *obs.Counter // attempts that did not yield a valid plan
@@ -176,7 +186,7 @@ func New(cfg Config, local LocalSolver, blockSize BlockSizeFunc) *Distributor {
 		}
 		d.peers[u] = &peer{
 			url:       u,
-			breaker:   newBreaker(cfg.FailureThreshold, cfg.Cooldown, cfg.Clock),
+			breaker:   resilience.NewBreaker(cfg.FailureThreshold, cfg.Cooldown, cfg.Clock),
 			requests:  reg.Counter("slade_cluster_peer_requests_total", "Remote span solves sent to the peer, including retries.", obs.L("peer", u)),
 			failures:  reg.Counter("slade_cluster_peer_failures_total", "Remote span attempts that failed (transport, status, decode, or validation).", obs.L("peer", u)),
 			retries:   reg.Counter("slade_cluster_peer_retries_total", "Remote span attempts beyond the first, per span.", obs.L("peer", u)),
@@ -317,7 +327,7 @@ func (d *Distributor) healthySequence(digest uint64) []string {
 	seq := d.ring.Sequence(digest)
 	out := seq[:0]
 	for _, node := range seq {
-		if node == d.self || d.peers[node].breaker.healthy() {
+		if node == d.self || d.peers[node].breaker.Healthy() {
 			out = append(out, node)
 		}
 	}
@@ -345,7 +355,7 @@ func (d *Distributor) solveSpan(ctx context.Context, in *core.Instance, sp span,
 			// stops retries from hammering a peer whose breaker opened
 			// mid-span — whether from this span's own failed probe or from
 			// concurrent spans' failures.
-			if !p.breaker.allow() {
+			if !p.breaker.Allow() {
 				break
 			}
 			if attempt > 0 {
@@ -415,13 +425,13 @@ func (d *Distributor) solveRemote(ctx context.Context, p *peer, in *core.Instanc
 		// timeout (attemptCtx expiring with the parent still live) IS peer
 		// health and takes the record path.
 		if err != nil && ctx.Err() != nil {
-			p.breaker.release()
+			p.breaker.Release()
 			return
 		}
-		p.breaker.record(err)
+		p.breaker.Record(err)
 		if err != nil {
 			p.failures.Inc()
-			if p.breaker.stateName() == "open" {
+			if p.breaker.StateName() == "open" {
 				d.noteBreakerOpen(p)
 			}
 		}
@@ -559,7 +569,7 @@ func usesToRuns(uses []core.BinUse) (*core.PlanRuns, error) {
 // informational — exact once-per-transition accounting lives in the
 // breaker's own opens count).
 func (d *Distributor) noteBreakerOpen(p *peer) {
-	_, _, opens, _ := p.breaker.snapshot()
+	_, _, opens, _ := p.breaker.Snapshot()
 	for {
 		seen := p.opensSeen.Load()
 		if opens <= seen {

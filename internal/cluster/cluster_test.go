@@ -18,6 +18,15 @@ import (
 
 const testThreshold = 0.95
 
+// fakeClock is a hand-advanced clock for breaker cooldown tests. (The
+// breaker's own suite moved to internal/resilience with the breaker; this
+// copy serves the cluster-level cooldown scenarios.)
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+
 // localOPQ is the test stand-in for the service's sharded solver: the
 // plain OPQ solve in run form. Both the distributor under test and the
 // single-node reference use it, so any parity break is the distributor's.

@@ -48,7 +48,7 @@ func (d *Distributor) Stats() Stats {
 	}
 	for _, u := range d.order {
 		p := d.peers[u]
-		state, consecutive, opens, lastErr := p.breaker.snapshot()
+		state, consecutive, opens, lastErr := p.breaker.Snapshot()
 		snap := p.latency.Snapshot()
 		s.Peers = append(s.Peers, PeerStats{
 			URL:                 u,
@@ -77,7 +77,7 @@ func (d *Distributor) Stats() Stats {
 // without failing the health check (the fallback keeps serving).
 func (d *Distributor) Degraded() bool {
 	for _, p := range d.peers {
-		if state, _, _, _ := p.breaker.snapshot(); state != "ok" {
+		if state, _, _, _ := p.breaker.Snapshot(); state != "ok" {
 			return true
 		}
 	}

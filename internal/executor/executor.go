@@ -42,6 +42,7 @@ package executor
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -49,6 +50,12 @@ import (
 	"repro/internal/crowdsim"
 	"repro/internal/greedy"
 )
+
+// errDegraded is the internal signal that a ContextBinRunner failed
+// terminally mid-plan: runPlan returns it after stamping the report, and
+// ExecuteContext converts it into a successful return of the partial
+// (Degraded) report.
+var errDegraded = errors.New("executor: execution degraded")
 
 // BinRunner executes one bin against a crowd and is the executor's only
 // view of the marketplace: crowdsim.Platform satisfies it directly
@@ -65,6 +72,35 @@ type BinRunner interface {
 	// report answer correctness; the call blocks until the (simulated)
 	// worker finishes.
 	RunBin(cardinality int, pay float64, difficulty int, truth []bool) crowdsim.BinOutcome
+}
+
+// BinContext identifies one bin issue within an execution — the
+// attempt-epoch coordinates a remote platform derives idempotency keys
+// from. Bin is the execution-wide use index (top-up bins continue the
+// sequence); Attempt is the executor's retry epoch for that use (0 for
+// the first issue). Two issues with equal coordinates are the same
+// purchase: a remote runner may reconcile instead of re-paying. Distinct
+// Attempt values are distinct purchases — an overtime bin's re-issue
+// spends new money by design.
+type BinContext struct {
+	RunID   string
+	Bin     int
+	Attempt int
+}
+
+// ContextBinRunner is the remote-platform extension of BinRunner: a
+// runner that can fail. RunBinContext reports wire-level failure as an
+// error instead of inventing an outcome, observes ctx for cancellation,
+// and receives the BinContext coordinates for idempotent issue. The
+// executor type-asserts for this interface and prefers it when present;
+// money accounting shifts accordingly — a bin is counted and paid only
+// when the issue commits (err == nil), because a failed remote issue
+// charges nothing. A non-cancellation error degrades the execution: the
+// executor stops issuing and returns the partial report with
+// Report.Degraded set rather than discarding delivered work.
+type ContextBinRunner interface {
+	BinRunner
+	RunBinContext(ctx context.Context, bc BinContext, cardinality int, pay float64, difficulty int, truth []bool) (crowdsim.BinOutcome, error)
 }
 
 // Observer receives execution progress callbacks, the seam the serving
@@ -117,6 +153,10 @@ type Options struct {
 	// Observer, when non-nil, receives per-bin and per-round progress
 	// callbacks. It does not alter the execution in any way.
 	Observer Observer
+	// RunID names this execution for ContextBinRunner implementations
+	// (the job id, in the serving layer) — the first coordinate of every
+	// idempotency key. Plain BinRunners never see it.
+	RunID string
 }
 
 // withDefaults fills unset fields. Zero means "default" for the budget
@@ -168,11 +208,22 @@ type Report struct {
 	DeliveredMass []float64
 	// MakeSpan is the longest single-bin duration observed.
 	MakeSpan time.Duration
+	// Degraded marks a partial report: a ContextBinRunner failed
+	// terminally (breaker open, retry budget exhausted, permanent
+	// rejection) and the execution stopped issuing. Everything delivered
+	// up to that point is accounted; top-up rounds are skipped.
+	Degraded bool
+	// LastError is the failure that degraded the execution (empty when
+	// Degraded is false).
+	LastError string
 
 	// deliveredTotal is the running sum of DeliveredMass, maintained
 	// incrementally so ProgressObserver callbacks don't rescan the
 	// per-task vector on every bin issue.
 	deliveredTotal float64
+	// binSeq numbers bin uses across the whole execution (top-ups
+	// continue the sequence) — the Bin coordinate of BinContext.
+	binSeq int
 }
 
 // DeliveredMassTotal returns the total transformed reliability mass
@@ -208,11 +259,14 @@ func ExecuteContext(ctx context.Context, r BinRunner, in *core.Instance, plan *c
 		return nil, err
 	}
 
-	if err := runPlan(ctx, r, in, plan, truth, o, rep); err != nil {
+	if err := runPlan(ctx, r, in, plan, truth, o, rep); err != nil && !errors.Is(err, errDegraded) {
 		return nil, err
 	}
 
-	for round := 0; o.TopUp && round < o.MaxTopUps; round++ {
+	// A degraded execution skips top-ups: the platform already refused
+	// more work, and each round would only re-discover that at the cost
+	// of another breaker probe.
+	for round := 0; o.TopUp && !rep.Degraded && round < o.MaxTopUps; round++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -227,7 +281,7 @@ func ExecuteContext(ctx context.Context, r BinRunner, in *core.Instance, plan *c
 		if o.Observer != nil {
 			o.Observer.TopUpRound()
 		}
-		if err := runPlan(ctx, r, in, fix, truth, o, rep); err != nil {
+		if err := runPlan(ctx, r, in, fix, truth, o, rep); err != nil && !errors.Is(err, errDegraded) {
 			return nil, err
 		}
 	}
@@ -259,6 +313,7 @@ func ExecuteContext(ctx context.Context, r BinRunner, in *core.Instance, plan *c
 func runPlan(ctx context.Context, r BinRunner, in *core.Instance, plan *core.Plan, truth []bool, o Options, rep *Report) error {
 	scratch := make([]bool, in.Bins().MaxCardinality())
 	prog, _ := o.Observer.(ProgressObserver)
+	cr, remote := r.(ContextBinRunner)
 	return plan.EachUse(func(cardinality int, tasks []int) error {
 		bin, ok := in.Bins().ByCardinality(cardinality)
 		if !ok {
@@ -274,6 +329,8 @@ func runPlan(ctx context.Context, r BinRunner, in *core.Instance, plan *core.Pla
 			}
 			binTruth[i] = truth[t]
 		}
+		binIdx := rep.binSeq
+		rep.binSeq++
 		completed := false
 		for attempt := 0; attempt <= o.MaxRetries; attempt++ {
 			if err := ctx.Err(); err != nil {
@@ -282,9 +339,29 @@ func runPlan(ctx context.Context, r BinRunner, in *core.Instance, plan *core.Pla
 			if attempt > 0 && o.Observer != nil {
 				o.Observer.BinRetried()
 			}
+			var out crowdsim.BinOutcome
+			if remote {
+				// Remote issue: the bin is counted and paid only when the
+				// platform commits it — a failed issue charged nothing
+				// (idempotent reconciliation is the runner's job), and a
+				// terminal failure degrades the execution in place of
+				// discarding what was already delivered.
+				var err error
+				out, err = cr.RunBinContext(ctx, BinContext{RunID: o.RunID, Bin: binIdx, Attempt: attempt},
+					bin.Cardinality, bin.Cost, o.Difficulty, binTruth)
+				if err != nil {
+					if ctx.Err() != nil {
+						return ctx.Err()
+					}
+					rep.Degraded = true
+					rep.LastError = err.Error()
+					return errDegraded
+				}
+			} else {
+				out = r.RunBin(bin.Cardinality, bin.Cost, o.Difficulty, binTruth)
+			}
 			rep.BinsIssued++
 			rep.Spent += bin.Cost
-			out := r.RunBin(bin.Cardinality, bin.Cost, o.Difficulty, binTruth)
 			if o.Observer != nil {
 				o.Observer.BinIssued(out.Duration)
 			}

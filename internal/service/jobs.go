@@ -147,6 +147,9 @@ type JobManager struct {
 	counts struct {
 		submitted, done, failed, canceled uint64
 		persisted, recovered, expired     uint64
+		// interrupted counts run jobs replayed from a non-terminal record
+		// at construction — they failed mid-run when the process stopped.
+		interrupted uint64
 		// Run-execution aggregates, counted only for runs executed by
 		// this process (recovered reports never re-execute).
 		runs, runBins, runTopUps uint64
@@ -209,9 +212,10 @@ func (m *JobManager) replay() {
 	}
 	now := time.Now()
 	var expired []string
+	var interrupted []*job
 	m.mu.Lock()
 	for _, rec := range recs {
-		j, err := jobFromRecord(rec)
+		j, wasInterrupted, err := jobFromRecord(rec, now)
 		if err != nil {
 			m.logger.Warn("skipping unreadable job record", "id", rec.ID, "err", err)
 			continue
@@ -222,12 +226,34 @@ func (m *JobManager) replay() {
 		}
 		m.jobs[j.id] = j
 		m.counts.recovered++
+		if wasInterrupted {
+			m.counts.interrupted++
+			interrupted = append(interrupted, j)
+		}
 		// Keep fresh ids strictly after every recovered one.
 		if n, ok := jobIDNumber(j.id); ok && n > m.nextID {
 			m.nextID = n
 		}
 	}
+	// Converge the store on the interrupted jobs' terminal form while
+	// still under the lock (recordFromJob's contract), so a second
+	// restart replays them as ordinary failed jobs.
+	interruptedRecs := make([]store.JobRecord, 0, len(interrupted))
+	for _, j := range interrupted {
+		rec, err := recordFromJob(j)
+		if err != nil {
+			m.logger.Warn("encoding interrupted job failed", "id", j.id, "err", err)
+			continue
+		}
+		interruptedRecs = append(interruptedRecs, rec)
+	}
 	m.mu.Unlock()
+	for _, rec := range interruptedRecs {
+		m.logger.Warn("run job interrupted by restart", "id", rec.ID)
+		if err := m.store.PutJob(rec); err != nil {
+			m.logger.Warn("persisting interrupted job failed", "id", rec.ID, "err", err)
+		}
+	}
 	// Reap expired-on-disk records here, once, rather than rescanning the
 	// whole store from the janitor: after replay, every live record has an
 	// in-memory twin whose expiry the sweep tracks directly.
@@ -249,13 +275,23 @@ func jobIDNumber(id string) (int, bool) {
 	return n, true
 }
 
-// jobFromRecord rebuilds an in-memory terminal job from its durable form.
-func jobFromRecord(rec store.JobRecord) (*job, error) {
+// errInterrupted is the terminal error stamped on jobs whose record was
+// still non-terminal at replay: the process stopped mid-run, the job can
+// never resume (its platform session is gone), so it fails loudly rather
+// than vanishing.
+var errInterrupted = errors.New("interrupted by restart: the process stopped while the job was running")
+
+// jobFromRecord rebuilds an in-memory job from its durable form. A
+// non-terminal record — written as a running marker before a crash — is
+// converted to a failed job stamped with errInterrupted and finished at
+// now; interrupted reports that conversion so replay can count it and
+// converge the store.
+func jobFromRecord(rec store.JobRecord, now time.Time) (j *job, interrupted bool, err error) {
 	state := JobState(rec.State)
 	if !state.Terminal() {
-		return nil, fmt.Errorf("non-terminal state %q", rec.State)
+		interrupted = true
 	}
-	j := &job{
+	j = &job{
 		id:        rec.ID,
 		kind:      rec.Kind,
 		state:     state,
@@ -276,34 +312,43 @@ func jobFromRecord(rec store.JobRecord) (*job, error) {
 	if rec.Error != "" {
 		j.err = errors.New(rec.Error)
 	}
+	if interrupted {
+		// The marker has no plan, summary or report to decode; fail it in
+		// place with a finish time of "now" (the closest observable moment
+		// to the actual death) so the result TTL starts from the restart.
+		j.state = JobFailed
+		j.err = errInterrupted
+		j.finished = now
+		return j, true, nil
+	}
 	if len(rec.Plan) > 0 {
 		var plan core.Plan
 		if err := json.Unmarshal(rec.Plan, &plan); err != nil {
-			return nil, fmt.Errorf("decoding plan: %w", err)
+			return nil, false, fmt.Errorf("decoding plan: %w", err)
 		}
 		j.plan = &plan
 	}
 	if len(rec.Summary) > 0 {
 		var sum PlanSummary
 		if err := json.Unmarshal(rec.Summary, &sum); err != nil {
-			return nil, fmt.Errorf("decoding summary: %w", err)
+			return nil, false, fmt.Errorf("decoding summary: %w", err)
 		}
 		j.summary = &sum
 	}
 	if len(rec.Report) > 0 {
 		var rep ExecutionReport
 		if err := json.Unmarshal(rec.Report, &rep); err != nil {
-			return nil, fmt.Errorf("decoding execution report: %w", err)
+			return nil, false, fmt.Errorf("decoding execution report: %w", err)
 		}
 		j.report = &rep
 	}
 	if state == JobDone && j.plan == nil {
-		return nil, fmt.Errorf("done record without a plan")
+		return nil, false, fmt.Errorf("done record without a plan")
 	}
 	if state == JobDone && j.kind == KindRun && j.report == nil {
-		return nil, fmt.Errorf("done run record without an execution report")
+		return nil, false, fmt.Errorf("done run record without an execution report")
 	}
-	return j, nil
+	return j, false, nil
 }
 
 // record converts a terminal job to its durable form. Caller holds m.mu.
@@ -556,7 +601,27 @@ func (m *JobManager) run(ctx context.Context, j *job) {
 	}
 	j.state = JobRunning
 	j.started = time.Now()
+	var marker store.JobRecord
+	writeMarker := j.kind == KindRun && m.store != nil
+	if writeMarker {
+		var err error
+		if marker, err = recordFromJob(j); err != nil {
+			m.logger.Warn("encoding running marker failed", "id", j.id, "err", err)
+			writeMarker = false
+		}
+	}
 	m.mu.Unlock()
+	// Run jobs leave a non-terminal marker in the store before executing:
+	// if the process dies mid-run, the next boot replays the marker as a
+	// failed "interrupted by restart" job instead of losing it silently.
+	// Written directly (not via persist) so the persisted counter keeps
+	// meaning "terminal jobs spilled"; the terminal record overwrites the
+	// marker at settle.
+	if writeMarker {
+		if err := m.store.PutJob(marker); err != nil {
+			m.logger.Warn("persisting running marker failed", "id", j.id, "err", err)
+		}
+	}
 	// The first event of every job's feed: it started running. Run jobs
 	// follow with per-bin progress frames from the executor observer.
 	m.svc.events.publish(j.id, JobEvent{State: JobRunning})
@@ -854,6 +919,9 @@ type JobStats struct {
 	Recovered uint64 `json:"recovered"`
 	// Expired counts terminal jobs reaped by the result TTL.
 	Expired uint64 `json:"expired"`
+	// RunsInterrupted counts run jobs found non-terminal in the store at
+	// startup and replayed as failed ("interrupted by restart").
+	RunsInterrupted uint64 `json:"runs_interrupted"`
 	// Runs counts run jobs executed to completion by this process;
 	// recovered run reports are served without re-execution and do not
 	// count. RunBinsIssued / RunTopUpRounds / RunSpend aggregate across
@@ -869,17 +937,18 @@ func (m *JobManager) Stats() JobStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := JobStats{
-		Submitted:      m.counts.submitted,
-		Done:           m.counts.done,
-		Failed:         m.counts.failed,
-		Canceled:       m.counts.canceled,
-		Persisted:      m.counts.persisted,
-		Recovered:      m.counts.recovered,
-		Expired:        m.counts.expired,
-		Runs:           m.counts.runs,
-		RunBinsIssued:  m.counts.runBins,
-		RunTopUpRounds: m.counts.runTopUps,
-		RunSpend:       m.counts.runSpend,
+		Submitted:       m.counts.submitted,
+		Done:            m.counts.done,
+		Failed:          m.counts.failed,
+		Canceled:        m.counts.canceled,
+		Persisted:       m.counts.persisted,
+		Recovered:       m.counts.recovered,
+		Expired:         m.counts.expired,
+		RunsInterrupted: m.counts.interrupted,
+		Runs:            m.counts.runs,
+		RunBinsIssued:   m.counts.runBins,
+		RunTopUpRounds:  m.counts.runTopUps,
+		RunSpend:        m.counts.runSpend,
 	}
 	for _, j := range m.jobs {
 		switch j.state {

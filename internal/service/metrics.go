@@ -286,6 +286,7 @@ func (s *Service) registerCollectors() {
 		e.Counter("slade_jobs_persisted_total", "Terminal jobs spilled to the durable store.", js.Persisted)
 		e.Counter("slade_jobs_recovered_total", "Jobs replayed from the store at boot.", js.Recovered)
 		e.Counter("slade_jobs_expired_total", "Terminal jobs reaped by the result TTL.", js.Expired)
+		e.Counter("slade_jobs_interrupted_total", "Run jobs found mid-run at boot and failed as interrupted.", js.RunsInterrupted)
 
 		cs := s.cache.Stats()
 		e.Gauge("slade_cache_entries", "Resident queues.", float64(cs.Entries))

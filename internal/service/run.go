@@ -19,6 +19,10 @@ import (
 // default, a negative value means explicitly zero (a spammer-free pool is
 // SpammerFraction -1, not 0 — 0 would be indistinguishable from "unset").
 type PlatformSpec struct {
+	// Kind selects the execution substrate: "sim" (default — in-process
+	// crowdsim) or "remote" (the daemon's HTTP marketplace client; see
+	// URL and the -platform-url flag).
+	Kind string `json:"kind,omitempty"`
 	// Model names the crowd-behaviour model: "jelly" (default) or "smic".
 	Model string `json:"model,omitempty"`
 	// Seed seeds the platform (and, when Truth is generated, the truth
@@ -36,6 +40,17 @@ type PlatformSpec struct {
 	// SkillSigma overrides the pool's per-worker skill spread; zero keeps
 	// the default, negative means no spread. Pool mode only.
 	SkillSigma float64 `json:"skill_sigma,omitempty"`
+
+	// The remote-kind knobs. URL overrides the daemon's configured
+	// marketplace for this job (empty uses the -platform-url client);
+	// Auth is sent verbatim as the Authorization header. TimeoutMS,
+	// Retries and RPS follow the budget convention: zero keeps the
+	// client defaults, Retries -1 means no wire retries.
+	URL       string  `json:"url,omitempty"`
+	Auth      string  `json:"auth,omitempty"`
+	TimeoutMS int     `json:"timeout_ms,omitempty"`
+	Retries   int     `json:"retries,omitempty"`
+	RPS       float64 `json:"rps,omitempty"`
 }
 
 // MaxPoolSize caps a run job's worker population: the pool is allocated
@@ -168,6 +183,12 @@ type ExecutionReport struct {
 	MinDeliveredReliability float64 `json:"min_delivered_reliability"`
 	// MakeSpanMS is the longest simulated single-bin duration.
 	MakeSpanMS float64 `json:"makespan_ms"`
+	// Degraded marks a partial report: the remote platform failed
+	// terminally mid-run (breaker open, retry budget exhausted) and the
+	// execution stopped issuing. Everything delivered before the failure
+	// is accounted above; LastError carries the failure.
+	Degraded  bool   `json:"degraded,omitempty"`
+	LastError string `json:"last_error,omitempty"`
 }
 
 // MaxUncoveredListed caps the uncovered-task id list embedded in a report
@@ -189,6 +210,28 @@ func (rj *RunJob) validate() error {
 	if rj.Platform.PoolSize > MaxPoolSize {
 		return fmt.Errorf("service: run job pool size %d above the %d cap", rj.Platform.PoolSize, MaxPoolSize)
 	}
+	// The budget knobs spell "explicitly none" as -1; any other negative
+	// is a mistake, rejected here instead of silently clamped downstream.
+	if rj.Options.MaxRetries < -1 {
+		return fmt.Errorf("service: run job max_retries %d invalid (0 default, -1 none)", rj.Options.MaxRetries)
+	}
+	if rj.Options.MaxTopUps < -1 {
+		return fmt.Errorf("service: run job max_top_ups %d invalid (0 default, -1 none)", rj.Options.MaxTopUps)
+	}
+	switch rj.Platform.Kind {
+	case "", "sim", "remote":
+	default:
+		return fmt.Errorf("service: unknown platform kind %q (have sim, remote)", rj.Platform.Kind)
+	}
+	if rj.Platform.Retries < -1 {
+		return fmt.Errorf("service: run job platform retries %d invalid (0 default, -1 none)", rj.Platform.Retries)
+	}
+	if rj.Platform.TimeoutMS < 0 {
+		return fmt.Errorf("service: run job platform timeout_ms %d negative", rj.Platform.TimeoutMS)
+	}
+	if rj.Platform.RPS < 0 {
+		return fmt.Errorf("service: run job platform rps %v negative", rj.Platform.RPS)
+	}
 	return nil
 }
 
@@ -209,8 +252,12 @@ func (rj *RunJob) truth() []bool {
 	return t
 }
 
-// platformName labels the report with the model the run executed on.
+// platformName labels the report with the substrate the run executed on:
+// the crowd model for simulated runs, "remote" for marketplace runs.
 func (rj *RunJob) platformName() string {
+	if rj.Platform.Kind == "remote" {
+		return "remote"
+	}
 	m := strings.ToLower(rj.Platform.Model)
 	if m == "" {
 		m = "jelly"
@@ -239,6 +286,8 @@ func newExecutionReport(rj *RunJob, rep *executor.Report, truth []bool) *Executi
 		EmpiricalReliability:    rep.EmpiricalReliability,
 		MinDeliveredReliability: 1,
 		MakeSpanMS:              float64(rep.MakeSpan.Microseconds()) / 1e3,
+		Degraded:                rep.Degraded,
+		LastError:               rep.LastError,
 	}
 	for i, tv := range truth {
 		if tv {
@@ -279,6 +328,9 @@ func (m *JobManager) runRun(ctx context.Context, j *job) (*core.Plan, *Execution
 	}
 	truth := rj.truth()
 	opts := rj.Options
+	// The job id is the run id a remote platform derives idempotency
+	// keys from: stable across wire retries, unique across jobs.
+	opts.RunID = j.id
 	if bm := m.svc.metrics; bm != nil {
 		// One observer feeds both sinks: the metric bundle and the job's
 		// SSE event feed (executor.ProgressObserver).
@@ -287,6 +339,9 @@ func (m *JobManager) runRun(ctx context.Context, j *job) (*core.Plan, *Execution
 	rep, err := executor.ExecuteContext(ctx, j.runner, rj.Instance, plan, truth, opts)
 	if err != nil {
 		return nil, nil, err
+	}
+	if rep.Degraded && m.svc.platform != nil {
+		m.svc.platform.NoteDegradedRun()
 	}
 	return plan, newExecutionReport(rj, rep, truth), nil
 }

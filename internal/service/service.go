@@ -16,9 +16,11 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/executor"
 	"repro/internal/greedy"
 	"repro/internal/hetero"
 	"repro/internal/opq"
+	"repro/internal/platform"
 	"repro/internal/store"
 )
 
@@ -111,6 +113,27 @@ type Config struct {
 	// ClusterCooldown is the open-breaker shut-out before a probe; <= 0
 	// selects cluster.DefaultCooldown.
 	ClusterCooldown time.Duration
+	// PlatformURL, when non-empty, connects the daemon to a remote crowd
+	// marketplace: run jobs with platform kind "remote" execute against
+	// it through the fault-tolerant platform client (retry budgets,
+	// idempotent issue, rate limiting, circuit breaking), and /v1/stats
+	// and /v1/healthz grow platform blocks. An invalid URL panics at
+	// construction — a daemon booted against a typo should not come up.
+	PlatformURL string
+	// PlatformAuth is sent verbatim as the Authorization header on every
+	// marketplace request.
+	PlatformAuth string
+	// PlatformTimeout bounds one bin-issue attempt; <= 0 selects
+	// platform.DefaultTimeout.
+	PlatformTimeout time.Duration
+	// PlatformRetries is the per-job wire-retry budget; 0 selects
+	// platform.DefaultRetryBudget, -1 disables wire retries.
+	PlatformRetries int
+	// PlatformRPS caps the marketplace issue rate; <= 0 is unlimited.
+	PlatformRPS float64
+	// PlatformTransport overrides the marketplace HTTP transport — the
+	// fault-injection seam in tests; nil selects http.DefaultTransport.
+	PlatformTransport http.RoundTripper
 }
 
 // ErrNoStore tags operations that need a durable store on a service
@@ -131,9 +154,12 @@ type Service struct {
 	// cluster is the peer-fan-out distributor; nil on a single-node
 	// service (no Peers configured).
 	cluster *cluster.Distributor
-	jobs    *JobManager
-	store   store.Store
-	slog    *slog.Logger
+	// platform is the remote marketplace client; nil unless PlatformURL
+	// is configured.
+	platform *platform.Client
+	jobs     *JobManager
+	store    store.Store
+	slog     *slog.Logger
 	// batcher coalesces same-key default-solver traffic; nil when
 	// batching is disabled.
 	batcher *batcher
@@ -206,11 +232,32 @@ func New(cfg Config) *Service {
 	if cfg.BatchWindow > 0 {
 		s.batcher = newBatcher(s, cfg.BatchWindow, cfg.BatchMaxRequests)
 	}
+	if cfg.PlatformURL != "" {
+		pc, err := platform.NewClient(platform.Config{
+			BaseURL:     cfg.PlatformURL,
+			Auth:        cfg.PlatformAuth,
+			Timeout:     cfg.PlatformTimeout,
+			RetryBudget: cfg.PlatformRetries,
+			RPS:         cfg.PlatformRPS,
+			Transport:   cfg.PlatformTransport,
+			Registry:    s.metrics.reg,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("service: remote platform: %v", err))
+		}
+		s.platform = pc
+	}
 	// The event hub and stream manager exist before the job manager: jobs
-	// replayed at construction must find a hub to publish into.
+	// replayed at construction must find a hub to publish into. The
+	// platform client exists first too — the factory resolves "remote"
+	// specs against it.
 	s.events = newEventHub(cfg.SSEHeartbeat, s.metrics)
 	s.streams = newStreamManager(s, cfg.ResultTTL)
-	s.jobs = newJobManager(s, maxJobs, s.store, cfg.ResultTTL, logger, cfg.PlatformFactory)
+	pf := cfg.PlatformFactory
+	if pf == nil {
+		pf = s.defaultPlatform
+	}
+	s.jobs = newJobManager(s, maxJobs, s.store, cfg.ResultTTL, logger, pf)
 	s.registerCollectors()
 
 	s.mustRegister(DefaultSolverName, s.sharded)
@@ -233,6 +280,35 @@ func New(cfg Config) *Service {
 		s.mustRegister(ClusterSolverName, s.cluster)
 	}
 	return s
+}
+
+// defaultPlatform is the built-in PlatformFactory: "sim" (or empty)
+// specs map onto the crowdsim substrate; "remote" specs get a per-job
+// runner from the daemon's marketplace client, or — when the spec names
+// its own URL — from a dedicated ephemeral client built with the spec's
+// knobs (its metrics stay private; the daemon's client keeps the
+// exported slade_platform_* series).
+func (s *Service) defaultPlatform(spec PlatformSpec) (executor.BinRunner, error) {
+	if spec.Kind != "remote" {
+		return defaultPlatformFactory(spec)
+	}
+	if spec.URL == "" {
+		if s.platform == nil {
+			return nil, fmt.Errorf("service: run job requests the remote platform but none is configured (start sladed with -platform-url)")
+		}
+		return s.platform.Runner(), nil
+	}
+	c, err := platform.NewClient(platform.Config{
+		BaseURL:     spec.URL,
+		Auth:        spec.Auth,
+		Timeout:     time.Duration(spec.TimeoutMS) * time.Millisecond,
+		RetryBudget: spec.Retries,
+		RPS:         spec.RPS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c.Runner(), nil
 }
 
 // blockSize resolves the menu's optimal block size LCM₁ through the
@@ -543,6 +619,9 @@ type Stats struct {
 	// Cluster reports per-peer distribution counters and breaker states;
 	// omitted on a single-node service.
 	Cluster *cluster.Stats `json:"cluster,omitempty"`
+	// Platform reports the remote marketplace client's counters and
+	// breaker state; omitted unless PlatformURL is configured.
+	Platform *platform.Stats `json:"platform,omitempty"`
 	// Solvers lists the registered solver names.
 	Solvers []string `json:"solvers"`
 	// Workers is the shard pool size.
@@ -592,6 +671,10 @@ func (s *Service) Stats() Stats {
 		cs := s.cluster.Stats()
 		st.Cluster = &cs
 	}
+	if s.platform != nil {
+		ps := s.platform.Stats()
+		st.Platform = &ps
+	}
 	return st
 }
 
@@ -620,6 +703,24 @@ type Health struct {
 	// every request serviceable) — they flip Cluster.Degraded so operators
 	// and load balancers can see reduced capacity without losing the node.
 	Cluster *HealthCluster `json:"cluster,omitempty"`
+	// Platform reports the remote marketplace's reachability; omitted
+	// unless PlatformURL is configured. Like the cluster block, a
+	// degraded platform NEVER fails the health check: the daemon keeps
+	// serving (solve jobs are unaffected, remote runs finish with
+	// explicit degraded partial reports), so taking the node out of
+	// rotation would only lose capacity.
+	Platform *HealthPlatform `json:"platform,omitempty"`
+}
+
+// HealthPlatform is the remote-marketplace block of a health report.
+type HealthPlatform struct {
+	URL string `json:"url"`
+	// State is the platform breaker's state: "ok", "open", or "probing".
+	State string `json:"state"`
+	// Degraded reports whether the breaker is currently not "ok".
+	Degraded bool `json:"degraded"`
+	// Error is the most recent issue failure, while not "ok".
+	Error string `json:"error,omitempty"`
 }
 
 // HealthCluster is the cluster block of a health report.
@@ -684,6 +785,15 @@ func (s *Service) Health() Health {
 			hc.Peers = append(hc.Peers, HealthPeer{URL: p.URL, State: p.State, Error: p.LastError})
 		}
 		h.Cluster = hc
+	}
+	if s.platform != nil {
+		ps := s.platform.Stats()
+		h.Platform = &HealthPlatform{
+			URL:      ps.URL,
+			State:    ps.State,
+			Degraded: ps.State != "ok",
+			Error:    ps.LastError,
+		}
 	}
 	return h
 }
